@@ -1,0 +1,43 @@
+"""Section VI: energy-efficiency comparison (GPU vs full CPU node).
+
+Run:  pytest benchmarks/bench_energy.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.machine.energy import energy_comparison
+
+
+def test_energy_report(study, capsys):
+    gpu = study.gpu_table()
+    cpu = study.cpu_table()
+    out = study.energy(gpu, cpu)
+    with capsys.disabled():
+        print()
+        print("Section VI energy estimate (per time step):")
+        for dev, power in (("gpu", 421.0), ("cpu", 683.0)):
+            for v, joules in out[dev].items():
+                print(f"  {dev} {v:5s}: {joules:9.1f} J  (at {power:.0f} W)")
+        r = out["ratios"]
+        print(f"\n  best-vs-best CPU/GPU energy ratio: "
+              f"{r['best_cpu_over_best_gpu']:.1f}x   (paper: ~4x, 82 J vs 21 J)")
+        print(f"  baseline-vs-baseline:              "
+              f"{r['baseline_cpu_over_baseline_gpu']:.2f}x  "
+              "(paper: GPU was the less efficient option)")
+    assert 2.0 < out["ratios"]["best_cpu_over_best_gpu"] < 8.0
+    assert out["ratios"]["baseline_cpu_over_baseline_gpu"] < 1.0
+
+
+def test_energy_with_paper_runtimes(capsys):
+    """Sanity: feeding the paper's runtimes reproduces its joule numbers."""
+    out = energy_comparison(
+        {"B": 3773.0, "RSPR": 51.0}, {"B": 785.0, "RSP": 122.0}
+    )
+    assert out["gpu"]["RSPR"] == pytest.approx(21.5, abs=0.1)
+    assert out["cpu"]["RSP"] == pytest.approx(83.3, abs=0.3)
+
+
+def test_bench_energy(benchmark, study):
+    gpu = study.gpu_table()
+    cpu = study.cpu_table()
+    benchmark(study.energy, gpu, cpu)

@@ -1,0 +1,43 @@
+"""Figure 3: roofline diagram of the GPU variants (DRAM and L2 intensity).
+
+Run:  pytest benchmarks/bench_fig3_roofline.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.machine.roofline import render_ascii
+
+
+def test_fig3_report(study, capsys):
+    gpu = study.gpu_table()
+    pts = study.roofline_points(gpu)
+    rl = study.roofline()
+    with capsys.disabled():
+        print()
+        print("Figure 3 data points:")
+        print(f"{'variant':8s} {'DRAM F/B':>9s} {'L2 F/B':>9s} "
+              f"{'TF/s':>7s} {'regime':>9s}")
+        for d, l in zip(pts["dram"], pts["l2"]):
+            print(
+                f"{d.label:8s} {d.intensity:9.2f} {l.intensity:9.2f} "
+                f"{d.performance/1e12:7.2f} {d.limited_by(rl):>9s}"
+            )
+        print(f"\nmachine balance (knee): {rl.knee:.1f} Flop/B "
+              "(paper: ~7 Flop/B)")
+        print()
+        print(render_ascii(rl, pts["dram"]))
+    by = {p.label: p for p in pts["dram"]}
+    # the paper's key qualitative results:
+    assert by["B"].intensity < rl.knee  # baseline memory-bound
+    assert by["RSPR"].intensity > rl.knee  # final variant past the knee
+    # the privatized variants sit at an order-of-magnitude higher intensity
+    assert by["RSP"].intensity > 5 * by["B"].intensity
+    assert by["RSPR"].intensity >= by["RSP"].intensity
+    # performance climbs along the chain
+    perf = [by[v].performance for v in ("B", "RS", "RSP", "RSPR")]
+    assert perf == sorted(perf)
+
+
+def test_bench_roofline_points(benchmark, study):
+    gpu = study.gpu_table()
+    benchmark(study.roofline_points, gpu)

@@ -1,0 +1,105 @@
+"""Headline speedups (Sections IV-V) and design-choice ablations.
+
+Covers the paper's narrative numbers that sit outside the tables:
+
+* baseline GPU 4-5x slower than the CPU node (Sec. IV);
+* per-measure speedup chain B -> P -> RS -> RSP -> RSPR (Sec. V);
+
+plus ablations of the machine-model design choices DESIGN.md calls out:
+forwarding-window width, occupancy sensitivity to register count, and
+full-LRU vs set-associative cache behaviour.
+
+Run:  pytest benchmarks/bench_speedups_ablation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.machine import A100_SXM4_40GB, LruCache, SetAssociativeCache
+from repro.machine.gpu import GpuModel
+
+
+def test_speedup_chain_report(study, capsys):
+    gpu = {c.variant: c for c in study.gpu_table()}
+    cpu = {c.variant: c for c in study.cpu_table()}
+    chain = ["B", "P", "RS", "RSP", "RSPR"]
+    with capsys.disabled():
+        print()
+        print("GPU speedup chain (each variant vs baseline B):")
+        for v in chain:
+            print(
+                f"  {v:5s}: {gpu['B'].runtime_ms / gpu[v].runtime_ms:7.1f}x "
+                f"({gpu[v].runtime_ms:8.1f} ms)"
+            )
+        ratio = gpu["B"].runtime_ms / cpu["B"].runtime_multicore_ms
+        print(
+            f"\nbaseline GPU vs baseline CPU node: {ratio:.1f}x slower "
+            "(paper: 4-5x slower)"
+        )
+        print(
+            f"final GPU vs best CPU node: "
+            f"{cpu['RSP'].runtime_multicore_ms / gpu['RSPR'].runtime_ms:.1f}x "
+            "faster"
+        )
+    assert ratio > 2.0
+    assert gpu["B"].runtime_ms / gpu["RSPR"].runtime_ms > 50.0
+
+
+def test_ablation_forwarding_window(study, capsys):
+    """Wider forwarding windows eliminate more private traffic for P."""
+    rep = study.trace("P")
+    rows = []
+    for window in (0, 2, 8, 32):
+        model = GpuModel(forward_window=window)
+        mapping = model.map_storage(rep)
+        filtered = model.filter_pattern(rep, mapping)
+        rows.append((window, len(filtered)))
+    with capsys.disabled():
+        print()
+        print("ablation: forwarding window vs surviving accesses (P):")
+        for w, n in rows:
+            print(f"  window {w:3d}: {n:6d} of {len(rep.pattern)}")
+    survivors = [n for _, n in rows]
+    assert survivors == sorted(survivors, reverse=True)
+    assert survivors[-1] < survivors[0]
+
+
+def test_ablation_occupancy_curve(capsys):
+    """Occupancy staircase vs register count (the paper's 148->128 step)."""
+    spec = A100_SXM4_40GB
+    rows = [(r, spec.warps_for_registers(r)) for r in range(64, 256, 16)]
+    with capsys.disabled():
+        print()
+        print("ablation: registers -> warps/SM:")
+        for r, w in rows:
+            print(f"  {r:4d} regs: {w:3d} warps")
+    warps = [w for _, w in rows]
+    assert warps == sorted(warps, reverse=True)
+
+
+def test_ablation_cache_associativity(capsys):
+    """Conflict misses: set-associative vs full LRU on a strided pattern."""
+    results = {}
+    for name, cache in (
+        ("full-LRU", LruCache(64)),
+        ("4-way", SetAssociativeCache(64, ways=4)),
+        ("1-way", SetAssociativeCache(64, ways=1)),
+    ):
+        for rep in range(20):
+            for line in range(0, 256, 64):  # pathological stride
+                cache.access(line)
+        results[name] = cache.stats.hit_rate
+    with capsys.disabled():
+        print()
+        print("ablation: cache associativity on a strided pattern:")
+        for k, v in results.items():
+            print(f"  {k:9s}: hit rate {v:.2f}")
+    assert results["full-LRU"] >= results["4-way"] >= results["1-way"]
+
+
+@pytest.mark.parametrize("sim_sms", [1, 2, 4])
+def test_bench_gpu_model_scaling(benchmark, study, sim_sms):
+    """Model cost vs simulated-SM count (fidelity/runtime ablation)."""
+    rep = study.trace("RS")
+    model = GpuModel(sim_sms=sim_sms, batches_per_warp=1)
+    c = benchmark(model.run, "RS", rep, study.mesh.connectivity)
+    assert c.runtime_ms > 0

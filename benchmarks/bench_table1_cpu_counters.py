@@ -1,0 +1,40 @@
+"""Table I: CPU performance counters and runtimes for B / RS / RSP.
+
+Prints the reproduced table next to the paper's published values and
+wall-clock-benchmarks the CPU machine model itself.
+
+Run:  pytest benchmarks/bench_table1_cpu_counters.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.io.report import PAPER_TABLE1, comparison_table_cpu
+from repro.machine.cpu import CpuModel
+
+
+def test_table1_report(study, capsys):
+    table = study.cpu_table()
+    with capsys.disabled():
+        print()
+        print(study.format_cpu_table(table))
+        print()
+        print(comparison_table_cpu(table))
+        b = {c.variant: c for c in table}
+        paper_ratio = (
+            PAPER_TABLE1["B"]["runtime_1c_ms"]
+            / PAPER_TABLE1["RSP"]["runtime_1c_ms"]
+        )
+        ours = b["B"].runtime_1c_ms / b["RSP"].runtime_1c_ms
+        print(
+            f"\nB -> RSP single-core speedup: {ours:.1f}x "
+            f"(paper: {paper_ratio:.1f}x; headline '>5x')"
+        )
+    assert ours > 5.0
+
+
+@pytest.mark.parametrize("variant", ["B", "RS", "RSP"])
+def test_bench_cpu_model(benchmark, study, variant):
+    """Wall time of one full CPU-model evaluation (trace cached)."""
+    trace = study.trace(variant)
+    model = CpuModel(sim_groups=64)
+    benchmark(model.run, variant, trace, study.mesh.connectivity)

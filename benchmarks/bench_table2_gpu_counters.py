@@ -1,0 +1,45 @@
+"""Table II: GPU performance counters and runtimes for B/P/RS/RSP/RSPR.
+
+Run:  pytest benchmarks/bench_table2_gpu_counters.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.io.report import PAPER_TABLE2, comparison_table_gpu
+from repro.machine.gpu import GpuModel
+
+
+def test_table2_report(study, capsys):
+    table = study.gpu_table()
+    by = {c.variant: c for c in table}
+    with capsys.disabled():
+        print()
+        print(study.format_gpu_table(table))
+        print()
+        print(comparison_table_gpu(table))
+        paper_speedup = (
+            PAPER_TABLE2["B"]["runtime_ms"] / PAPER_TABLE2["RSPR"]["runtime_ms"]
+        )
+        ours = by["B"].runtime_ms / by["RSPR"].runtime_ms
+        print(
+            f"\nB -> RSPR speedup: {ours:.0f}x "
+            f"(paper: {paper_speedup:.0f}x; headline 'more than 50x')"
+        )
+        print(
+            "registers (measured/paper): "
+            + ", ".join(
+                f"{v}={by[v].registers}/{PAPER_TABLE2[v]['registers']:.0f}"
+                for v in by
+            )
+        )
+    assert ours > 50.0
+    for v in by:
+        assert by[v].registers == PAPER_TABLE2[v]["registers"]
+
+
+@pytest.mark.parametrize("variant", ["B", "P", "RS", "RSP", "RSPR"])
+def test_bench_gpu_model(benchmark, study, variant):
+    """Wall time of one full GPU-model evaluation (trace cached)."""
+    trace = study.trace(variant)
+    model = GpuModel(sim_sms=2, batches_per_warp=1)
+    benchmark(model.run, variant, trace, study.mesh.connectivity)

@@ -1,0 +1,39 @@
+"""Table III: the Listing-3 privatization micro-study.
+
+Reproduces the paper's per-thread store counts and store volumes for the
+three temp-array mappings (global / local / registers) -- exactly.
+
+Run:  pytest benchmarks/bench_table3_privatization.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.microbench import run_listing3
+from repro.io.report import PAPER_TABLE3
+
+
+def test_table3_report(capsys):
+    results = run_listing3()
+    with capsys.disabled():
+        print()
+        print("Table III (per thread): measured / paper")
+        print(f"{'mapping':10s} {'local st':>12s} {'global st':>12s} "
+              f"{'L2 bytes':>12s} {'DRAM bytes':>12s}")
+        for name, r in results.items():
+            p = PAPER_TABLE3[name]
+            print(
+                f"{name:10s} {r.local_stores:>5d}/{p['local_stores']:<6.0f} "
+                f"{r.global_stores:>5d}/{p['global_stores']:<6.0f} "
+                f"{r.l2_store_bytes:>5d}/{p['l2_store_bytes']:<6.0f} "
+                f"{r.dram_store_bytes:>5d}/{p['dram_store_bytes']:<6.0f}"
+            )
+    for name, r in results.items():
+        p = PAPER_TABLE3[name]
+        assert r.local_stores == p["local_stores"]
+        assert r.global_stores == p["global_stores"]
+        assert r.l2_store_bytes == p["l2_store_bytes"]
+        assert r.dram_store_bytes == p["dram_store_bytes"]
+
+
+def test_bench_listing3(benchmark):
+    benchmark(run_listing3)

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+The machine-model study is session-scoped: every table/figure bench reads
+from the same traced kernels, exactly as the paper's tables all come from
+one measurement campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationStudy, UnifiedAssembler
+from repro.fem import box_tet_mesh
+from repro.physics import AssemblyParams
+
+
+@pytest.fixture(scope="session")
+def study():
+    return OptimizationStudy()
+
+
+@pytest.fixture(scope="session")
+def bench_mesh():
+    # 13824 elements: big enough for stable wall-clock numbers, small
+    # enough to keep the full suite in seconds.
+    return box_tet_mesh(12, 12, 16)
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    return AssemblyParams(body_force=(0.0, 0.0, 0.1))
+
+
+@pytest.fixture(scope="session")
+def bench_velocity(bench_mesh):
+    rng = np.random.default_rng(0)
+    return 0.1 * rng.standard_normal((bench_mesh.nnode, 3))
+
+
+@pytest.fixture(scope="session")
+def bench_assembler(bench_mesh, bench_params):
+    return UnifiedAssembler(bench_mesh, bench_params, vector_dim=1024)

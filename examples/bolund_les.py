@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bolund-hill LES: a miniature of the paper's benchmark case.
+
+Atmospheric boundary-layer flow over a Bolund-like cliff, run end to end
+with the explicit fractional-step scheme: RHS assembly with a selectable
+kernel variant, AMG-CG pressure solve, projection, and VTK output.
+
+Run:  python examples/bolund_les.py [--variant RSPR] [--steps 10]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import UnifiedAssembler
+from repro.fem import bolund_like_mesh, classify_box_boundaries, DirichletBC
+from repro.io import write_vtk
+from repro.physics import AssemblyParams
+from repro.physics.fractional_step import FractionalStepSolver
+from repro.physics.pressure import PressureSolver
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--variant", default="RSPR", help="kernel variant (B..RSPR)")
+    ap.add_argument("--steps", type=int, default=10)
+    ap.add_argument("--nx", type=int, default=16)
+    ap.add_argument("--output", default=None, help="VTK output path")
+    args = ap.parse_args()
+
+    mesh = bolund_like_mesh(nx=args.nx, ny=args.nx * 2 // 3, nz=8)
+    print(f"Bolund-like mesh: {mesh.nnode} nodes, {mesh.nelem} tets")
+    print(mesh.statistics())
+
+    params = AssemblyParams(body_force=(0.0, 0.0, 0.0))
+    regions = classify_box_boundaries(mesh)
+
+    # log-profile inflow over the upwind face, no-slip ground, free-slip top
+    u_ref, z_ref, z0 = 1.0, 2.0, 0.01
+
+    def inflow(coords: np.ndarray) -> np.ndarray:
+        z = np.maximum(coords[:, 2] - coords[:, 2].min() + z0, z0)
+        u = u_ref * np.log(z / z0) / np.log(z_ref / z0)
+        out = np.zeros((len(coords), 3))
+        out[:, 0] = np.maximum(u, 0.0)
+        return out
+
+    bcs = [
+        DirichletBC(regions["xmin"].nodes, inflow),
+        DirichletBC(regions["zmin"].nodes, np.zeros(3)),
+        DirichletBC(regions["zmax"].nodes, np.zeros(3), components=(2,)),
+        DirichletBC(regions["ymin"].nodes, np.zeros(3), components=(1,)),
+        DirichletBC(regions["ymax"].nodes, np.zeros(3), components=(1,)),
+    ]
+
+    assembler = UnifiedAssembler(mesh, params, vector_dim=256)
+
+    def assemble(mesh_, velocity, params_):
+        return assembler.assemble(args.variant, velocity)
+
+    solver = FractionalStepSolver(
+        mesh,
+        params,
+        dirichlet=bcs,
+        assemble=assemble,
+        pressure_solver=PressureSolver(mesh, tol=1e-6),
+    )
+    solver.set_velocity(inflow(mesh.coords))
+
+    print(f"\nrunning {args.steps} steps with variant {args.variant}:")
+    print(f"{'step':>4s} {'t':>8s} {'dt':>8s} {'|u|max':>8s} "
+          f"{'KE':>10s} {'p iters':>7s}")
+    for rep in solver.run(args.steps, cfl=0.4):
+        print(
+            f"{rep.step:4d} {rep.time:8.3f} {rep.dt:8.4f} "
+            f"{rep.max_velocity:8.3f} {rep.kinetic_energy:10.4f} "
+            f"{rep.pressure_iterations:7d}"
+        )
+
+    breakdown = solver.timing_breakdown()
+    print(
+        f"\nassembly fraction of solver time: "
+        f"{breakdown['assembly_fraction']:.0%} "
+        "(the paper reports up to 80% for production LES)"
+    )
+
+    if args.output:
+        write_vtk(
+            args.output,
+            mesh,
+            point_data={
+                "velocity": solver.velocity,
+                "pressure": solver.pressure_field,
+            },
+            title="Bolund-like LES",
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

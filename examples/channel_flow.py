@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Pressure-driven channel flow with wall-resolved grading.
+
+Demonstrates the physics substrate beyond the Bolund case: a body-force
+driven channel with no-slip walls, the Vreman subgrid model, and the
+kinetic-energy budget of the explicit fractional-step scheme.  Also shows
+the specialization boundary: switching the turbulence model requires the
+baseline variant -- the specialized kernels refuse.
+
+Run:  python examples/channel_flow.py [--steps 12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import SpecializationError, UnifiedAssembler
+from repro.fem import channel_mesh, classify_box_boundaries, DirichletBC
+from repro.physics import AssemblyParams, TurbulenceModel
+from repro.physics.fractional_step import FractionalStepSolver
+from repro.physics.pressure import PressureSolver
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--steps", type=int, default=12)
+    args = ap.parse_args()
+
+    mesh = channel_mesh(nx=12, ny=8, nz=10)
+    print(f"channel mesh: {mesh.nnode} nodes, {mesh.nelem} tets")
+
+    # driven by a streamwise body force (the pressure-gradient surrogate)
+    params = AssemblyParams(body_force=(5e-3, 0.0, 0.0))
+    regions = classify_box_boundaries(mesh)
+    bcs = [
+        DirichletBC(regions["zmin"].nodes, np.zeros(3)),
+        DirichletBC(regions["zmax"].nodes, np.zeros(3)),
+    ]
+
+    solver = FractionalStepSolver(
+        mesh,
+        params,
+        dirichlet=bcs,
+        pressure_solver=PressureSolver(mesh, tol=1e-6),
+    )
+
+    # start from a laminar-ish parabolic profile plus noise
+    z = mesh.coords[:, 2]
+    zmax = z.max()
+    rng = np.random.default_rng(11)
+    u0 = np.zeros((mesh.nnode, 3))
+    u0[:, 0] = 0.05 * 4.0 * (z / zmax) * (1.0 - z / zmax)
+    u0 += 0.002 * rng.standard_normal(u0.shape)
+    solver.set_velocity(u0)
+
+    print(f"\n{'step':>4s} {'t':>8s} {'KE':>12s} {'bulk u':>8s} {'p iters':>7s}")
+    for rep in solver.run(args.steps, cfl=0.4):
+        bulk = float(solver.velocity[:, 0].mean())
+        print(
+            f"{rep.step:4d} {rep.time:8.3f} {rep.kinetic_energy:12.6f} "
+            f"{bulk:8.4f} {rep.pressure_iterations:7d}"
+        )
+    print("\nthe body force steadily accelerates the bulk flow while the "
+          "walls hold -- the standard channel spin-up transient.")
+
+    # The specialization boundary the paper pays for its speed with:
+    smag = AssemblyParams(
+        body_force=(5e-3, 0.0, 0.0),
+        turbulence_model=TurbulenceModel.SMAGORINSKY,
+    )
+    asm = UnifiedAssembler(mesh, smag)
+    try:
+        asm.assemble("RSP", solver.velocity)
+    except SpecializationError as exc:
+        print(f"\nspecialization boundary (expected): {exc}")
+    rhs = asm.assemble("B", solver.velocity)  # the generic baseline copes
+    print(f"baseline handled the Smagorinsky model fine "
+          f"(|rhs|max = {np.abs(rhs).max():.3e})")
+
+
+if __name__ == "__main__":
+    main()

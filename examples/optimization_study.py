@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's measurement campaign on the machine models:
+Table I (CPU), Table II (GPU), the Figure 3 roofline and the Section VI
+energy comparison -- side by side with the paper's published numbers.
+
+Run:  python examples/optimization_study.py
+"""
+
+from repro.core import OptimizationStudy
+from repro.core.microbench import run_listing3
+from repro.io.report import (
+    PAPER_TABLE3,
+    comparison_table_cpu,
+    comparison_table_gpu,
+)
+from repro.machine.roofline import render_ascii
+
+
+def main() -> None:
+    study = OptimizationStudy()
+
+    print("=" * 72)
+    gpu = study.gpu_table()
+    print(study.format_gpu_table(gpu))
+    print()
+    print(comparison_table_gpu(gpu))
+
+    print("=" * 72)
+    cpu = study.cpu_table()
+    print(study.format_cpu_table(cpu))
+    print()
+    print(comparison_table_cpu(cpu))
+
+    print("=" * 72)
+    print("Table III (privatization micro-study), measured vs paper:")
+    for name, r in run_listing3().items():
+        p = PAPER_TABLE3[name]
+        print(
+            f"  {name:9s}: local/global stores {r.local_stores}/"
+            f"{r.global_stores} (paper {p['local_stores']}/"
+            f"{p['global_stores']}), store volume L2/DRAM "
+            f"{r.l2_store_bytes}/{r.dram_store_bytes} B (paper "
+            f"{p['l2_store_bytes']}/{p['dram_store_bytes']} B)"
+        )
+
+    print("=" * 72)
+    print("Figure 3 roofline (DRAM intensity):\n")
+    pts = study.roofline_points(gpu)
+    print(render_ascii(study.roofline(), pts["dram"]))
+
+    print("=" * 72)
+    energy = study.energy(gpu, cpu)
+    print("Section VI energy estimate:")
+    for dev in ("gpu", "cpu"):
+        for variant, joules in energy[dev].items():
+            print(f"  {dev} {variant:5s}: {joules:8.1f} J")
+    r = energy["ratios"]
+    print(
+        f"  best CPU / best GPU energy ratio: "
+        f"{r['best_cpu_over_best_gpu']:.1f}x (paper: ~4x)"
+    )
+    print(
+        f"  baseline CPU / baseline GPU:      "
+        f"{r['baseline_cpu_over_baseline_gpu']:.2f}x "
+        "(paper: GPU was the *less* efficient option at the baseline)"
+    )
+
+
+if __name__ == "__main__":
+    main()

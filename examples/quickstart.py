@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble the Navier-Stokes momentum RHS with every kernel
+variant from the paper, verify they agree, and look at their cost traces.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Storage, UnifiedAssembler, variant_names
+from repro.fem import box_tet_mesh
+from repro.physics import AssemblyParams, assemble_momentum_rhs
+
+
+def main() -> None:
+    # A structured tet mesh of the unit cube: 8^3 cells x 6 tets.
+    mesh = box_tet_mesh(8, 8, 8)
+    print(f"mesh: {mesh.nnode} nodes, {mesh.nelem} tetrahedra")
+
+    # Physics: the constants the paper's specialized kernels hard-wire
+    # (constant density/viscosity, Vreman LES model) plus a body force.
+    params = AssemblyParams(body_force=(0.0, 0.0, -0.1))
+
+    # A synthetic velocity field to assemble the RHS for.
+    rng = np.random.default_rng(7)
+    velocity = 0.1 * rng.standard_normal((mesh.nnode, 3))
+
+    # The oracle: vectorized numpy reference assembly.
+    reference = assemble_momentum_rhs(mesh, velocity, params)
+
+    # The paper's variants, all through one driver (VECTOR_DIM=16 is the
+    # paper's CPU group size).
+    assembler = UnifiedAssembler(mesh, params, vector_dim=16)
+    print(f"\n{'variant':8s} {'max rel err':>12s} {'flops/elem':>11s} "
+          f"{'global ld/st':>13s} {'private ld/st':>14s} {'temp slots':>11s}")
+    for name in variant_names():
+        rhs = assembler.assemble(name, velocity)
+        err = np.abs(rhs - reference).max() / np.abs(reference).max()
+        trace = assembler.trace(name, velocity)
+        slots = trace.temp_slots(Storage.GLOBAL_TEMP) + trace.temp_slots(
+            Storage.PRIVATE
+        )
+        print(
+            f"{name:8s} {err:12.2e} {trace.flops:11d} "
+            f"{trace.loadstore(Storage.GLOBAL_TEMP):13d} "
+            f"{trace.loadstore(Storage.PRIVATE):14d} {slots:11d}"
+        )
+
+    print(
+        "\nAll variants assemble the same physics; the traces show why the "
+        "restructured+specialized+privatized versions are so much cheaper: "
+        "4-8x fewer flops and orders of magnitude fewer temporary-array "
+        "accesses -- the paper's entire optimization story in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

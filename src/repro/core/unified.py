@@ -1,0 +1,160 @@
+"""Unified assembly driver: run any kernel variant over a whole mesh.
+
+This is the "one code base, two paths" layer: it chunks the mesh into
+``VECTOR_DIM`` element groups (:class:`repro.fem.packing.ElementPacking`),
+builds a :class:`~repro.core.dsl.KernelContext` per group and executes the
+chosen variant with the numpy backend.  The CPU path uses small groups (the
+paper's ``VECTOR_DIM=16``); the GPU path uses one huge group per "kernel
+launch" (``VECTOR_DIM=2048k``).
+
+The driver also validates specialization compatibility: dispatching a
+*specialized* variant with runtime parameters that contradict its
+compile-time constants raises :class:`SpecializationError` -- the paper's
+"our current implementation can not cover the full range of problems the
+original code could handle" made explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..fem.mesh import TetMesh
+from ..fem.packing import ElementPacking
+from ..physics.momentum import AssemblyParams
+from ..physics.convection import ConvectiveForm
+from ..physics.turbulence import TurbulenceModel
+from .dsl import KernelContext, NumpyBackend, TracingBackend, TraceReport
+from .restructured import SPEC_DENSITY, SPEC_VISCOSITY, SPEC_VREMAN_C
+from .variants import Variant, get_variant
+
+__all__ = [
+    "SpecializationError",
+    "UnifiedAssembler",
+    "CPU_VECTOR_DIM",
+    "GPU_VECTOR_DIM",
+]
+
+#: The paper's CPU vector length ("VECTOR_DIM=16 to be fastest for both
+#: AVX256 and AVX512").
+CPU_VECTOR_DIM = 16
+
+#: The paper's GPU vector length (2048k elements per kernel launch).
+GPU_VECTOR_DIM = 2048 * 1024
+
+
+class SpecializationError(ValueError):
+    """A specialized kernel was dispatched with incompatible parameters."""
+
+
+def _check_specialization(variant: Variant, params: AssemblyParams) -> None:
+    if not variant.specialized:
+        return
+    problems = []
+    if params.density != SPEC_DENSITY:
+        problems.append(
+            f"density {params.density} != specialized constant {SPEC_DENSITY}"
+        )
+    if params.viscosity != SPEC_VISCOSITY:
+        problems.append(
+            f"viscosity {params.viscosity} != specialized constant "
+            f"{SPEC_VISCOSITY}"
+        )
+    if params.vreman_c != SPEC_VREMAN_C:
+        problems.append(
+            f"vreman_c {params.vreman_c} != specialized constant "
+            f"{SPEC_VREMAN_C}"
+        )
+    if params.turbulence_model is not TurbulenceModel.VREMAN:
+        problems.append(
+            "specialized kernels hard-wire the Vreman model "
+            f"(got {params.turbulence_model.name})"
+        )
+    if params.convective_form is not ConvectiveForm.ADVECTIVE:
+        problems.append(
+            "specialized kernels hard-wire the advective form "
+            f"(got {params.convective_form.name})"
+        )
+    if problems:
+        raise SpecializationError(
+            f"variant {variant.name} was specialized away from this problem: "
+            + "; ".join(problems)
+            + ". Build a matching kernel with make_specialized_kernel(...) "
+            "or use the baseline variant."
+        )
+
+
+@dataclasses.dataclass
+class UnifiedAssembler:
+    """Assemble the momentum RHS with a selected variant.
+
+    Parameters
+    ----------
+    mesh:
+        The tetrahedral mesh.
+    params:
+        Physical parameters; must be compatible with the variant's
+        specialization.
+    vector_dim:
+        Element-group size.  Defaults to the CPU choice; pass
+        :data:`GPU_VECTOR_DIM` to emulate the GPU launch configuration.
+    """
+
+    mesh: TetMesh
+    params: AssemblyParams = dataclasses.field(default_factory=AssemblyParams)
+    vector_dim: int = CPU_VECTOR_DIM
+
+    def __post_init__(self) -> None:
+        self.packing = ElementPacking(self.mesh, vector_dim=self.vector_dim)
+        self._kernel_params = self.params.as_kernel_params()
+
+    def _context(
+        self, group, velocity: np.ndarray, rhs: np.ndarray
+    ) -> KernelContext:
+        return KernelContext(
+            connectivity=group.connectivity,
+            coords=self.mesh.coords,
+            fields={"velocity": velocity},
+            rhs=rhs,
+            params=self._kernel_params,
+            nnode_per_element=4,
+            active=None if group.nactive == group.vector_dim else group.active,
+        )
+
+    def assemble(
+        self, variant_name: str, velocity: np.ndarray
+    ) -> np.ndarray:
+        """Assemble the global momentum RHS ``(nnode, 3)`` with a variant."""
+        variant = get_variant(variant_name)
+        _check_specialization(variant, self.params)
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if velocity.shape != (self.mesh.nnode, 3):
+            raise ValueError(
+                f"velocity must be ({self.mesh.nnode}, 3), got {velocity.shape}"
+            )
+        rhs = np.zeros((self.mesh.nnode, 3))
+        for group in self.packing:
+            ctx = self._context(group, velocity, rhs)
+            bk = NumpyBackend(ctx)
+            variant.kernel(bk, ctx)
+        return rhs
+
+    def trace(
+        self,
+        variant_name: str,
+        velocity: Optional[np.ndarray] = None,
+        group_index: int = 0,
+    ) -> TraceReport:
+        """Trace one element group of a variant (per-element counters)."""
+        variant = get_variant(variant_name)
+        _check_specialization(variant, self.params)
+        if velocity is None:
+            velocity = np.zeros((self.mesh.nnode, 3))
+        group = self.packing.group(group_index)
+        rhs = np.zeros((self.mesh.nnode, 3))
+        ctx = self._context(group, np.asarray(velocity, dtype=np.float64), rhs)
+        bk = TracingBackend(ctx)
+        variant.kernel(bk, ctx)
+        return bk.finalize()

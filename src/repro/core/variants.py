@@ -1,0 +1,131 @@
+"""Registry of the paper's kernel variants.
+
+Variants are named with the paper's letters:
+
+=======  ============================================================  =======
+name     description                                                   targets
+=======  ============================================================  =======
+``B``    baseline: generic, elemental matrices, global temporaries    CPU+GPU
+``P``    baseline + privatization only (isolated-P study, Sec. V-C)   GPU
+``RS``   restructured + specialized, global temporaries               CPU+GPU
+``RSP``  restructured + specialized + privatized                      CPU+GPU
+``RSPR`` RSP + immediate scatter (second restructuring, Sec. V-D)     GPU
+=======  ============================================================  =======
+
+``RSPR`` "is not transferable to the CPU, as it breaks the concept of a
+single vectorization loop and a scalar scatter loop" -- reflected in the
+``targets`` metadata, which the study driver honours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple
+
+from .baseline import make_baseline_kernel
+from .restructured import make_specialized_kernel
+from .dsl import Backend, KernelContext
+from .storage import Storage
+
+__all__ = ["Variant", "VARIANTS", "get_variant", "variant_names"]
+
+Kernel = Callable[[Backend, KernelContext], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Variant:
+    """A kernel variant and its metadata."""
+
+    name: str
+    description: str
+    kernel: Kernel
+    restructured: bool
+    specialized: bool
+    privatized: bool
+    immediate_scatter: bool
+    targets: Tuple[str, ...]
+
+    def supports(self, target: str) -> bool:
+        return target in self.targets
+
+
+def _build_registry() -> Dict[str, Variant]:
+    return {
+        "B": Variant(
+            name="B",
+            description="Baseline: generic vectorized assembly, elemental "
+            "matrices, global temporaries",
+            kernel=make_baseline_kernel(Storage.GLOBAL_TEMP),
+            restructured=False,
+            specialized=False,
+            privatized=False,
+            immediate_scatter=False,
+            targets=("cpu", "gpu"),
+        ),
+        "P": Variant(
+            name="P",
+            description="Baseline + privatization only (temporaries in "
+            "local memory)",
+            kernel=make_baseline_kernel(Storage.PRIVATE),
+            restructured=False,
+            specialized=False,
+            privatized=True,
+            immediate_scatter=False,
+            targets=("gpu",),
+        ),
+        "RS": Variant(
+            name="RS",
+            description="Restructured + specialized (TET04, constant "
+            "properties, Vreman-on-the-fly), global temporaries",
+            kernel=make_specialized_kernel(Storage.GLOBAL_TEMP),
+            restructured=True,
+            specialized=True,
+            privatized=False,
+            immediate_scatter=False,
+            targets=("cpu", "gpu"),
+        ),
+        "RSP": Variant(
+            name="RSP",
+            description="Restructured + specialized + privatized "
+            "(register-resident temporaries)",
+            kernel=make_specialized_kernel(Storage.PRIVATE),
+            restructured=True,
+            specialized=True,
+            privatized=True,
+            immediate_scatter=False,
+            targets=("cpu", "gpu"),
+        ),
+        "RSPR": Variant(
+            name="RSPR",
+            description="RSP + immediate scatter of RHS entries "
+            "(GPU-only second restructuring)",
+            kernel=make_specialized_kernel(
+                Storage.PRIVATE, immediate_scatter=True
+            ),
+            restructured=True,
+            specialized=True,
+            privatized=True,
+            immediate_scatter=True,
+            targets=("gpu",),
+        ),
+    }
+
+
+VARIANTS: Dict[str, Variant] = _build_registry()
+
+
+def get_variant(name: str) -> Variant:
+    """Look up a variant by paper letter (case-insensitive)."""
+    try:
+        return VARIANTS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; available: {sorted(VARIANTS)}"
+        ) from None
+
+
+def variant_names(target: str | None = None) -> Tuple[str, ...]:
+    """Variant names, optionally filtered by target (``"cpu"``/``"gpu"``)."""
+    if target is None:
+        return tuple(VARIANTS)
+    return tuple(n for n, v in VARIANTS.items() if v.supports(target))

@@ -1,0 +1,131 @@
+"""Boundary extraction and boundary-condition containers.
+
+The LES examples (Bolund hill, channel) need wall / inflow / outflow / top
+boundary conditions.  This module classifies boundary faces of a
+:class:`~repro.fem.mesh.TetMesh` by geometric predicates and stores simple
+Dirichlet/Neumann sets that the time integrator applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from .mesh import TetMesh
+
+__all__ = [
+    "BoundaryRegion",
+    "DirichletBC",
+    "BoundaryClassifier",
+    "classify_box_boundaries",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryRegion:
+    """A named set of boundary faces and the nodes they touch."""
+
+    name: str
+    faces: np.ndarray  # (nfaces, 3) node ids
+    nodes: np.ndarray  # sorted unique node ids
+
+    @property
+    def nfaces(self) -> int:
+        return self.faces.shape[0]
+
+
+@dataclasses.dataclass
+class DirichletBC:
+    """Fixed-value velocity boundary condition on a node set.
+
+    ``value`` is either a constant ``(ncomp,)`` vector or a callable
+    ``f(coords) -> (nnodes, ncomp)`` evaluated on the BC nodes.
+    """
+
+    nodes: np.ndarray
+    value: np.ndarray | Callable[[np.ndarray], np.ndarray]
+    components: tuple[int, ...] | None = None
+
+    def apply(self, field: np.ndarray, coords: np.ndarray) -> None:
+        """Overwrite ``field[nodes]`` (or selected components) in place."""
+        if callable(self.value):
+            vals = np.asarray(self.value(coords[self.nodes]))
+        else:
+            vals = np.broadcast_to(
+                np.asarray(self.value, dtype=np.float64),
+                (len(self.nodes), field.shape[1]),
+            )
+        if self.components is None:
+            field[self.nodes] = vals
+        else:
+            for c in self.components:
+                field[self.nodes, c] = vals[:, c]
+
+
+class BoundaryClassifier:
+    """Classify boundary faces of a mesh into named regions.
+
+    Predicates are evaluated on face *centroids*; the first matching
+    predicate wins, remaining faces fall into the ``"other"`` region.
+    """
+
+    def __init__(self, mesh: TetMesh) -> None:
+        self.mesh = mesh
+        self._faces = mesh.boundary_faces()
+        self._centroids = mesh.coords[self._faces].mean(axis=1)
+        self._predicates: List[tuple[str, Callable[[np.ndarray], np.ndarray]]] = []
+
+    @property
+    def nfaces(self) -> int:
+        return self._faces.shape[0]
+
+    def add_region(
+        self, name: str, predicate: Callable[[np.ndarray], np.ndarray]
+    ) -> "BoundaryClassifier":
+        """Register a region; ``predicate(centroids) -> bool mask``."""
+        self._predicates.append((name, predicate))
+        return self
+
+    def build(self) -> Dict[str, BoundaryRegion]:
+        """Assign every boundary face to the first matching region."""
+        unassigned = np.ones(self.nfaces, dtype=bool)
+        regions: Dict[str, BoundaryRegion] = {}
+        for name, pred in self._predicates:
+            mask = np.asarray(pred(self._centroids), dtype=bool) & unassigned
+            faces = self._faces[mask]
+            regions[name] = BoundaryRegion(
+                name=name, faces=faces, nodes=np.unique(faces)
+            )
+            unassigned &= ~mask
+        faces = self._faces[unassigned]
+        regions["other"] = BoundaryRegion(
+            name="other", faces=faces, nodes=np.unique(faces)
+        )
+        return regions
+
+
+def classify_box_boundaries(
+    mesh: TetMesh, tol: float = 1e-9
+) -> Dict[str, BoundaryRegion]:
+    """Classify the six sides of an axis-aligned box mesh.
+
+    Regions: ``xmin/xmax/ymin/ymax/zmin/zmax`` (ground is ``zmin``).  For
+    terrain meshes the ground follows the terrain, so ``zmin`` is defined as
+    "faces whose normal is predominantly vertical and which are not the top".
+    """
+    lo = mesh.coords.min(axis=0)
+    hi = mesh.coords.max(axis=0)
+    span = np.maximum(hi - lo, 1e-300)
+    eps = tol * span
+
+    clf = BoundaryClassifier(mesh)
+    clf.add_region("xmin", lambda c: c[:, 0] < lo[0] + eps[0])
+    clf.add_region("xmax", lambda c: c[:, 0] > hi[0] - eps[0])
+    clf.add_region("ymin", lambda c: c[:, 1] < lo[1] + eps[1])
+    clf.add_region("ymax", lambda c: c[:, 1] > hi[1] - eps[1])
+    clf.add_region("zmax", lambda c: c[:, 2] > hi[2] - eps[2])
+    # Whatever remains on the bottom (flat or terrain-following) is ground.
+    clf.add_region("zmin", lambda c: np.ones(len(c), dtype=bool))
+    return clf.build()

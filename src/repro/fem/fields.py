@@ -1,0 +1,158 @@
+"""Field containers: nodal and per-element data bound to a mesh.
+
+Thin, validated wrappers that keep shape bookkeeping (nnode vs nelem,
+component counts) out of the physics code.  Fields support the arithmetic
+the time integrator needs and norm/statistics helpers used by tests and
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .mesh import TetMesh
+
+__all__ = ["NodalField", "ElementField", "lumped_mass"]
+
+
+class _FieldBase:
+    """Shared behaviour of nodal and element fields."""
+
+    data: np.ndarray
+    name: str
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        if copy:
+            return np.array(self.data, dtype=dtype)
+        return self.data if dtype is None else self.data.astype(dtype)
+
+    @property
+    def ncomp(self) -> int:
+        return 1 if self.data.ndim == 1 else self.data.shape[1]
+
+    def norm(self, kind: str = "l2") -> float:
+        """``l2`` (Euclidean), ``max`` or ``rms`` norm of the raw data."""
+        if kind == "l2":
+            return float(np.linalg.norm(self.data))
+        if kind == "max":
+            return float(np.abs(self.data).max()) if self.data.size else 0.0
+        if kind == "rms":
+            return float(np.sqrt(np.mean(self.data**2))) if self.data.size else 0.0
+        raise ValueError(f"unknown norm kind {kind!r}")
+
+    def copy(self):
+        out = type(self).__new__(type(self))
+        out.mesh = self.mesh  # type: ignore[attr-defined]
+        out.data = self.data.copy()
+        out.name = self.name
+        return out
+
+
+class NodalField(_FieldBase):
+    """A field with one value (or vector) per mesh node.
+
+    Parameters
+    ----------
+    mesh:
+        The owning mesh.
+    ncomp:
+        Components per node (3 for velocity, 1 for pressure).
+    data:
+        Optional initial data ``(nnode,)`` or ``(nnode, ncomp)``; zeros by
+        default.
+    """
+
+    def __init__(
+        self,
+        mesh: TetMesh,
+        ncomp: int = 1,
+        data: np.ndarray | None = None,
+        name: str = "field",
+    ) -> None:
+        self.mesh = mesh
+        self.name = name
+        shape = (mesh.nnode,) if ncomp == 1 else (mesh.nnode, ncomp)
+        if data is None:
+            self.data = np.zeros(shape, dtype=np.float64)
+        else:
+            arr = np.asarray(data, dtype=np.float64)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"nodal field {name!r}: expected shape {shape}, "
+                    f"got {arr.shape}"
+                )
+            self.data = arr.copy()
+
+    def interpolate(self, func) -> "NodalField":
+        """Fill from ``func(coords) -> (nnode,[ncomp])`` and return self."""
+        vals = np.asarray(func(self.mesh.coords), dtype=np.float64)
+        if vals.shape != self.data.shape:
+            raise ValueError(
+                f"interpolant returned {vals.shape}, expected {self.data.shape}"
+            )
+        self.data[...] = vals
+        return self
+
+    def element_means(self) -> np.ndarray:
+        """Average nodal values over each element's 4 nodes."""
+        return self.data[self.mesh.connectivity].mean(axis=1)
+
+
+class ElementField(_FieldBase):
+    """A field with one value (or vector) per element."""
+
+    def __init__(
+        self,
+        mesh: TetMesh,
+        ncomp: int = 1,
+        data: np.ndarray | None = None,
+        name: str = "element_field",
+    ) -> None:
+        self.mesh = mesh
+        self.name = name
+        shape = (mesh.nelem,) if ncomp == 1 else (mesh.nelem, ncomp)
+        if data is None:
+            self.data = np.zeros(shape, dtype=np.float64)
+        else:
+            arr = np.asarray(data, dtype=np.float64)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"element field {name!r}: expected shape {shape}, "
+                    f"got {arr.shape}"
+                )
+            self.data = arr.copy()
+
+    def to_nodal(self) -> NodalField:
+        """Volume-weighted projection to nodes (for output/diagnostics)."""
+        mesh = self.mesh
+        vols = mesh.element_volumes()
+        wsum = np.zeros(mesh.nnode)
+        if self.data.ndim == 1:
+            acc = np.zeros(mesh.nnode)
+            contrib = (self.data * vols)[:, None].repeat(4, axis=1)
+        else:
+            acc = np.zeros((mesh.nnode, self.data.shape[1]))
+            contrib = (self.data * vols[:, None])[:, None, :].repeat(4, axis=1)
+        np.add.at(acc, mesh.connectivity.ravel(), contrib.reshape(-1, *contrib.shape[2:]))
+        np.add.at(wsum, mesh.connectivity.ravel(), np.repeat(vols, 4))
+        wsum = np.maximum(wsum, 1e-300)
+        data = acc / (wsum if acc.ndim == 1 else wsum[:, None])
+        out = NodalField(mesh, ncomp=1 if data.ndim == 1 else data.shape[1])
+        out.data[...] = data
+        out.name = self.name + "_nodal"
+        return out
+
+
+def lumped_mass(mesh: TetMesh) -> np.ndarray:
+    """Row-sum (lumped) mass matrix diagonal, ``(nnode,)``.
+
+    For P1 tets the consistent-mass row sum assigns each node a quarter of
+    the volume of each adjacent element.  The lumped mass is what the
+    explicit fractional-step update divides by.
+    """
+    vols = mesh.element_volumes()
+    mass = np.zeros(mesh.nnode)
+    np.add.at(mass, mesh.connectivity.ravel(), np.repeat(vols / 4.0, 4))
+    return mass

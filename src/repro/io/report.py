@@ -1,0 +1,138 @@
+"""Paper-style experiment reports.
+
+Renders the reproduction's measurements side by side with the paper's
+published values, including the ratio columns EXPERIMENTS.md quotes.  The
+published numbers are transcribed from the paper's Tables I-III.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..machine.counters import CpuCounters, GpuCounters, format_table
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "comparison_table_gpu",
+    "comparison_table_cpu",
+]
+
+#: Table I of the paper (CPU, per element).
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "B": {
+        "loadstore": 6055, "flops": 6316, "l1_volume": 48440,
+        "l1_effectiveness": 0.74, "l23_volume": 12716,
+        "l23_effectiveness": 0.98, "dram_volume": 261,
+        "gflops_1c": 13.8, "gbs_1c": 0.53,
+        "runtime_1c_ms": 44047, "runtime_multicore_ms": 785,
+    },
+    "RS": {
+        "loadstore": 2516, "flops": 1760, "l1_volume": 20128,
+        "l1_effectiveness": 0.94, "l23_volume": 1120,
+        "l23_effectiveness": 0.80, "dram_volume": 218,
+        "gflops_1c": 11.9, "gbs_1c": 1.3,
+        "runtime_1c_ms": 15429, "runtime_multicore_ms": 244,
+    },
+    "RSP": {
+        "loadstore": 639, "flops": 1249, "l1_volume": 5112,
+        "l1_effectiveness": 0.82, "l23_volume": 932,
+        "l23_effectiveness": 0.74, "dram_volume": 241,
+        "gflops_1c": 14.2, "gbs_1c": 2.5,
+        "runtime_1c_ms": 8400, "runtime_multicore_ms": 122,
+    },
+}
+
+#: Table II of the paper (GPU, per element).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "B": {
+        "global_loadstore": 6218, "local_loadstore": 24, "flops": 6293,
+        "l1_volume": 49936, "l1_effectiveness": 0.29,
+        "l2_volume": 35507, "l2_effectiveness": 0.34,
+        "dram_volume": 23331, "registers": 255,
+        "gflops": 163, "gbs": 608, "runtime_ms": 3773,
+    },
+    "P": {
+        "global_loadstore": 483, "local_loadstore": 2593, "flops": 6148,
+        "l1_volume": 24616, "l1_effectiveness": 0.03,
+        "l2_volume": 23837, "l2_effectiveness": 0.21,
+        "dram_volume": 18721, "registers": 255,
+        "gflops": 393, "gbs": 1200, "runtime_ms": 1536,
+    },
+    "RS": {
+        "global_loadstore": 960, "local_loadstore": 0, "flops": 1663,
+        "l1_volume": 7680, "l1_effectiveness": 0.60,
+        "l2_volume": 3052, "l2_effectiveness": 0.61,
+        "dram_volume": 1170, "registers": 184,
+        "gflops": 829, "gbs": 583, "runtime_ms": 197,
+    },
+    "RSP": {
+        "global_loadstore": 50, "local_loadstore": 71, "flops": 1391,
+        "l1_volume": 968, "l1_effectiveness": 0.0,
+        "l2_volume": 1304, "l2_effectiveness": 0.66,
+        "dram_volume": 442, "registers": 148,
+        "gflops": 2020, "gbs": 646, "runtime_ms": 68,
+    },
+    "RSPR": {
+        "global_loadstore": 71, "local_loadstore": 30, "flops": 1333,
+        "l1_volume": 808, "l1_effectiveness": 0.0,
+        "l2_volume": 968, "l2_effectiveness": 0.84,
+        "dram_volume": 150, "registers": 128,
+        "gflops": 2575, "gbs": 289, "runtime_ms": 51,
+    },
+}
+
+#: Table III of the paper (privatization micro-study, per thread).
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "global": {
+        "local_stores": 0, "global_stores": 9,
+        "l2_store_bytes": 72, "dram_store_bytes": 72,
+    },
+    "local": {
+        "local_stores": 8, "global_stores": 1,
+        "l2_store_bytes": 72, "dram_store_bytes": 8,
+    },
+    "registers": {
+        "local_stores": 0, "global_stores": 1,
+        "l2_store_bytes": 8, "dram_store_bytes": 8,
+    },
+}
+
+
+def comparison_table_gpu(measured: Sequence[GpuCounters]) -> str:
+    """Measured-vs-paper Table II as text."""
+    rows: List[Dict[str, object]] = []
+    for c in measured:
+        paper = PAPER_TABLE2.get(c.variant, {})
+        rows.append(
+            {
+                "variant": c.variant,
+                "flops (meas/paper)": f"{c.flops:.0f}/{paper.get('flops', '-')}",
+                "dram B": f"{c.dram_volume:.0f}/{paper.get('dram_volume', '-')}",
+                "regs": f"{c.registers}/{paper.get('registers', '-')}",
+                "GF/s": f"{c.gflops:.0f}/{paper.get('gflops', '-')}",
+                "runtime ms": f"{c.runtime_ms:.0f}/{paper.get('runtime_ms', '-')}",
+            }
+        )
+    return format_table(rows, list(rows[0].keys()), title="GPU: measured/paper")
+
+
+def comparison_table_cpu(measured: Sequence[CpuCounters]) -> str:
+    """Measured-vs-paper Table I as text."""
+    rows: List[Dict[str, object]] = []
+    for c in measured:
+        paper = PAPER_TABLE1.get(c.variant, {})
+        rows.append(
+            {
+                "variant": c.variant,
+                "flops": f"{c.flops:.0f}/{paper.get('flops', '-')}",
+                "ld/st": f"{c.loadstore:.0f}/{paper.get('loadstore', '-')}",
+                "t 1c ms": f"{c.runtime_1c_ms:.0f}/{paper.get('runtime_1c_ms', '-')}",
+                "t multicore ms": (
+                    f"{c.runtime_multicore_ms:.0f}/"
+                    f"{paper.get('runtime_multicore_ms', '-')}"
+                ),
+            }
+        )
+    return format_table(rows, list(rows[0].keys()), title="CPU: measured/paper")

@@ -1,0 +1,67 @@
+"""Legacy-VTK (ASCII) writer for meshes and fields.
+
+Enough of the legacy ``.vtk`` unstructured-grid format for ParaView/VisIt
+to open the example outputs: points, tetrahedral cells, and any number of
+point/cell data arrays (scalars or 3-vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..fem.mesh import TetMesh
+
+__all__ = ["write_vtk"]
+
+
+def _write_data_section(
+    fh, data: Dict[str, np.ndarray], n_expected: int, kind: str
+) -> None:
+    fh.write(f"{kind} {n_expected}\n")
+    for name, arr in data.items():
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.shape[0] != n_expected:
+            raise ValueError(
+                f"{kind.lower()} array {name!r}: expected leading dim "
+                f"{n_expected}, got {arr.shape}"
+            )
+        if arr.ndim == 1:
+            fh.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+            for v in arr:
+                fh.write(f"{v:.9g}\n")
+        elif arr.ndim == 2 and arr.shape[1] == 3:
+            fh.write(f"VECTORS {name} double\n")
+            for row in arr:
+                fh.write(f"{row[0]:.9g} {row[1]:.9g} {row[2]:.9g}\n")
+        else:
+            raise ValueError(
+                f"array {name!r} must be (n,) or (n, 3), got {arr.shape}"
+            )
+
+
+def write_vtk(
+    path: str,
+    mesh: TetMesh,
+    point_data: Optional[Dict[str, np.ndarray]] = None,
+    cell_data: Optional[Dict[str, np.ndarray]] = None,
+    title: str = "repro output",
+) -> None:
+    """Write a tetrahedral mesh with optional point/cell data arrays."""
+    with open(path, "w") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write(title[:255] + "\n")
+        fh.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        fh.write(f"POINTS {mesh.nnode} double\n")
+        for p in mesh.coords:
+            fh.write(f"{p[0]:.9g} {p[1]:.9g} {p[2]:.9g}\n")
+        fh.write(f"CELLS {mesh.nelem} {mesh.nelem * 5}\n")
+        for c in mesh.connectivity:
+            fh.write(f"4 {c[0]} {c[1]} {c[2]} {c[3]}\n")
+        fh.write(f"CELL_TYPES {mesh.nelem}\n")
+        fh.write("".join("10\n" for _ in range(mesh.nelem)))
+        if point_data:
+            _write_data_section(fh, point_data, mesh.nnode, "POINT_DATA")
+        if cell_data:
+            _write_data_section(fh, cell_data, mesh.nelem, "CELL_DATA")

@@ -1,0 +1,110 @@
+"""Counter-report structures mirroring the paper's Tables I and II.
+
+These are the machine-model analogues of what the paper measures with
+Nsight Compute (GPU) and LIKWID (CPU): per-element operation counts, cache
+volumes and effectiveness, register/occupancy data and derived rates.
+
+Conventions follow the table captions exactly:
+
+* 1 FMA = 2 Flop;
+* "operations per element" are executed instructions x SIMD/warp length /
+  element count;
+* L1 volume is load/store operations x 8 B;
+* cache effectiveness is the percentage of traffic *requested from* a cache
+  that hits in it, so ``volume(level+1) = volume(level) x (1 - eff)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+__all__ = ["GpuCounters", "CpuCounters", "format_table"]
+
+
+@dataclasses.dataclass
+class GpuCounters:
+    """One column of Table II (a GPU variant)."""
+
+    variant: str
+    global_loadstore: float
+    local_loadstore: float
+    flops: float
+    l1_volume: float
+    l1_effectiveness: float
+    l2_volume: float
+    l2_effectiveness: float
+    dram_volume: float
+    registers: int
+    warps_per_sm: int
+    occupancy: float
+    gflops: float
+    gbs: float
+    runtime_ms: float
+    memory_ilp: float = 1.0
+    spilled_arrays: tuple = ()
+
+    @property
+    def dram_intensity(self) -> float:
+        """Arithmetic intensity vs DRAM traffic (Flop/B) -- Fig. 3 x-axis."""
+        return self.flops / self.dram_volume if self.dram_volume else float("inf")
+
+    @property
+    def l2_intensity(self) -> float:
+        """Arithmetic intensity vs L2 traffic (Flop/B)."""
+        return self.flops / self.l2_volume if self.l2_volume else float("inf")
+
+
+@dataclasses.dataclass
+class CpuCounters:
+    """One column of Table I (a CPU variant)."""
+
+    variant: str
+    loadstore: float
+    flops: float
+    l1_volume: float
+    l1_effectiveness: float
+    l23_volume: float
+    l23_effectiveness: float
+    dram_volume: float
+    gflops_1c: float
+    gbs_1c: float
+    runtime_1c_ms: float
+    runtime_multicore_ms: float
+    multicore_workers: int
+
+    @property
+    def dram_intensity(self) -> float:
+        return self.flops / self.dram_volume if self.dram_volume else float("inf")
+
+
+def format_table(
+    rows: List[Dict[str, object]],
+    columns: List[str],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render a list of row dicts as a fixed-width text table."""
+    header = columns
+    body: List[List[str]] = []
+    for row in rows:
+        line = []
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                line.append(float_fmt.format(v))
+            else:
+                line.append(str(v))
+        body.append(line)
+    widths = [
+        max(len(header[i]), *(len(b[i]) for b in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for b in body:
+        out.append("  ".join(v.ljust(w) for v, w in zip(b, widths)))
+    return "\n".join(out)

@@ -1,0 +1,58 @@
+"""Energy-efficiency estimate (Section VI of the paper).
+
+The paper estimates power from the clusters' TOP500 entries -- 421 W per
+Alex A100 GPU (including host share) and 683 W per Fritz CPU node -- and
+multiplies by kernel runtime: the fastest GPU variant (51 ms) consumes 21 J
+against 82 J for the fastest full-node CPU run (122 ms), a ~4x advantage
+that flips to a *disadvantage* for the baseline (where the GPU is 4-5x
+slower than the CPU node).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+__all__ = ["EnergyEstimate", "energy_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one device executing one kernel variant."""
+
+    device: str
+    variant: str
+    runtime_ms: float
+    power_watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.runtime_ms * 1e-3 * self.power_watts
+
+
+def energy_comparison(
+    gpu_runtimes_ms: Dict[str, float],
+    cpu_runtimes_ms: Dict[str, float],
+    gpu_power: float = 421.0,
+    cpu_power: float = 683.0,
+) -> Dict[str, Dict[str, float]]:
+    """Per-variant energy table plus GPU/CPU efficiency ratios.
+
+    Parameters are variant->runtime(ms) maps for the GPU and the CPU node.
+    The ratio uses the fastest variant available on each device (the paper
+    compares best-vs-best) and additionally reports the baseline-vs-baseline
+    ratio, which favours the CPU.
+    """
+    out: Dict[str, Dict[str, float]] = {"gpu": {}, "cpu": {}, "ratios": {}}
+    for v, t in gpu_runtimes_ms.items():
+        out["gpu"][v] = EnergyEstimate("gpu", v, t, gpu_power).joules
+    for v, t in cpu_runtimes_ms.items():
+        out["cpu"][v] = EnergyEstimate("cpu", v, t, cpu_power).joules
+    best_gpu = min(out["gpu"].values())
+    best_cpu = min(out["cpu"].values())
+    out["ratios"]["best_cpu_over_best_gpu"] = best_cpu / best_gpu
+    if "B" in out["gpu"] and "B" in out["cpu"]:
+        out["ratios"]["baseline_cpu_over_baseline_gpu"] = (
+            out["cpu"]["B"] / out["gpu"]["B"]
+        )
+    return out

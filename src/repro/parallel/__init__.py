@@ -1,0 +1,20 @@
+"""MPI-style parallel substrate: simulated communicator, partitioning,
+halo exchange and real multiprocessing scaling runs."""
+
+from .comm import CommError, SimComm, run_ranks
+from .partition import (
+    element_adjacency,
+    greedy_graph_partition,
+    partition_quality,
+    rcb_partition,
+)
+from .halo import SubdomainPlan, build_plans, post_interface, reduce_interface
+from .runner import MultiprocessRunner, ScalingPoint, assemble_partitioned
+
+__all__ = [
+    "CommError", "SimComm", "run_ranks",
+    "element_adjacency", "greedy_graph_partition", "partition_quality",
+    "rcb_partition",
+    "SubdomainPlan", "build_plans", "post_interface", "reduce_interface",
+    "MultiprocessRunner", "ScalingPoint", "assemble_partitioned",
+]

@@ -1,0 +1,120 @@
+"""Simulated MPI communicator.
+
+Alya is "a pure MPI code" with one master and N worker processes.  There is
+no MPI in this environment, so this module provides an in-process
+communicator with the collective/point-to-point surface the rest of the
+parallel substrate needs.  Ranks execute *sequentially* inside
+:func:`run_ranks` (deterministic, debuggable); the real-parallelism path for
+the scaling study lives in :mod:`repro.parallel.runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SimComm", "run_ranks", "CommError"]
+
+
+class CommError(RuntimeError):
+    """Communication protocol misuse (mismatched send/recv, bad rank)."""
+
+
+class SimComm:
+    """One rank's view of a simulated communicator.
+
+    The shared ``_world`` dictionaries hold in-flight messages; because rank
+    functions run to completion one after another (send-before-recv
+    ordering), every ``recv`` must find its message already posted --
+    mirroring a buffered-send MPI program.  Collectives operate in two
+    phases (contribute, then collect) driven by :func:`run_ranks`.
+    """
+
+    def __init__(self, rank: int, size: int, world: Dict[str, Any]) -> None:
+        if not 0 <= rank < size:
+            raise CommError(f"rank {rank} outside communicator of size {size}")
+        self.rank = rank
+        self.size = size
+        self._world = world
+
+    # -- point to point --------------------------------------------------
+    def send(self, dest: int, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise CommError(f"send to invalid rank {dest}")
+        self._world.setdefault("mailbox", {}).setdefault(
+            (self.rank, dest, tag), []
+        ).append(payload)
+
+    def recv(self, source: int, tag: int) -> Any:
+        box = self._world.get("mailbox", {}).get((source, self.rank, tag), [])
+        if not box:
+            raise CommError(
+                f"rank {self.rank}: no message from {source} with tag {tag}; "
+                "simulated ranks must send before the receiver runs"
+            )
+        return box.pop(0)
+
+    # -- collectives (contribute phase) -----------------------------------
+    def _contribute(self, op: str, value: Any) -> None:
+        self._world.setdefault(op, {})[self.rank] = value
+
+    def allreduce_sum(self, value):
+        """Two-phase allreduce: returns a handle resolved after all ranks ran."""
+        self._contribute("allreduce_sum", value)
+        return _Deferred(self._world, "allreduce_sum", self.rank, "sum")
+
+    def allgather(self, value):
+        self._contribute("allgather", value)
+        return _Deferred(self._world, "allgather", self.rank, "gather")
+
+    def barrier(self) -> None:
+        self._contribute("barrier", True)
+
+
+class _Deferred:
+    """Handle to a collective result, resolved after the round completes."""
+
+    def __init__(self, world, op, rank, kind) -> None:
+        self._world = world
+        self._op = op
+        self._kind = kind
+
+    def resolve(self):
+        vals = self._world.get(self._op, {})
+        ordered = [vals[r] for r in sorted(vals)]
+        if self._kind == "sum":
+            out = ordered[0]
+            for v in ordered[1:]:
+                out = out + v
+            return out
+        return ordered
+
+
+def run_ranks(
+    size: int,
+    fn: Callable[[SimComm], Any],
+    rounds: int = 1,
+) -> List[Any]:
+    """Execute ``fn(comm)`` for every rank of a simulated communicator.
+
+    Single-phase programs (send-then-recv patterns consistent with
+    sequential execution, or collectives resolved afterwards) run with
+    ``rounds=1``.  Returns the per-rank results; any ``_Deferred`` results
+    are resolved.
+    """
+    world: Dict[str, Any] = {}
+    results: List[Any] = []
+    for r in range(size):
+        results.append(fn(SimComm(r, size, world)))
+    resolved = []
+    for res in results:
+        if isinstance(res, _Deferred):
+            resolved.append(res.resolve())
+        elif isinstance(res, tuple):
+            resolved.append(
+                tuple(x.resolve() if isinstance(x, _Deferred) else x for x in res)
+            )
+        else:
+            resolved.append(res)
+    return resolved

@@ -1,0 +1,123 @@
+"""Interface (halo) classification and exchange plans.
+
+With an element partition, nodes on subdomain interfaces receive RHS
+contributions from elements owned by several ranks.  Alya's assembly is
+"trivially parallel" per element; the reduction over interface nodes is the
+only communication.  This module builds the per-rank interface plan and
+performs the exchange over a :class:`~repro.parallel.comm.SimComm`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..fem.mesh import TetMesh
+from .comm import SimComm
+
+__all__ = ["SubdomainPlan", "build_plans", "post_interface", "reduce_interface"]
+
+
+@dataclasses.dataclass
+class SubdomainPlan:
+    """One rank's subdomain: local mesh view and interface metadata.
+
+    Attributes
+    ----------
+    rank:
+        Owning rank.
+    element_ids:
+        Global element ids assigned to this rank.
+    node_map:
+        Local-to-global node ids (sorted unique over local elements).
+    local_connectivity:
+        Connectivity renumbered into local node ids.
+    interface_local:
+        Local indices of nodes shared with at least one other rank.
+    neighbours:
+        Ranks sharing interface nodes, mapped to the *local* indices of the
+        nodes shared with each.
+    """
+
+    rank: int
+    element_ids: np.ndarray
+    node_map: np.ndarray
+    local_connectivity: np.ndarray
+    interface_local: np.ndarray
+    neighbours: Dict[int, np.ndarray]
+
+
+def build_plans(mesh: TetMesh, labels: np.ndarray) -> List[SubdomainPlan]:
+    """Build per-rank subdomain plans from an element partition."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (mesh.nelem,):
+        raise ValueError("labels must be one per element")
+    nparts = int(labels.max()) + 1 if labels.size else 0
+
+    node_owners: Dict[int, List[int]] = {}
+    plans: List[SubdomainPlan] = []
+    node_maps = []
+    for rank in range(nparts):
+        eids = np.flatnonzero(labels == rank)
+        conn = mesh.connectivity[eids]
+        node_map, local = np.unique(conn, return_inverse=True)
+        node_maps.append(node_map)
+        for nd in node_map:
+            node_owners.setdefault(int(nd), []).append(rank)
+        plans.append(
+            SubdomainPlan(
+                rank=rank,
+                element_ids=eids,
+                node_map=node_map,
+                local_connectivity=local.reshape(conn.shape),
+                interface_local=np.empty(0, dtype=np.int64),
+                neighbours={},
+            )
+        )
+
+    for rank, plan in enumerate(plans):
+        g2l = {int(g): i for i, g in enumerate(plan.node_map)}
+        shared_mask = np.array(
+            [len(node_owners[int(g)]) > 1 for g in plan.node_map]
+        )
+        plan.interface_local = np.flatnonzero(shared_mask)
+        nbrs: Dict[int, List[int]] = {}
+        for li in plan.interface_local:
+            g = int(plan.node_map[li])
+            for other in node_owners[g]:
+                if other != rank:
+                    nbrs.setdefault(other, []).append(li)
+        plan.neighbours = {
+            r: np.asarray(v, dtype=np.int64) for r, v in sorted(nbrs.items())
+        }
+    return plans
+
+
+def post_interface(
+    comm: SimComm, plan: SubdomainPlan, local_field: np.ndarray, tag: int = 7
+) -> None:
+    """Phase 1 of the assembly reduction: post partial interface sums."""
+    for nbr, locals_ in plan.neighbours.items():
+        payload = (plan.node_map[locals_], local_field[locals_].copy())
+        comm.send(nbr, tag, payload)
+
+
+def reduce_interface(
+    comm: SimComm, plan: SubdomainPlan, local_field: np.ndarray, tag: int = 7
+) -> np.ndarray:
+    """Phase 2: add the neighbours' partial sums to the local field.
+
+    After this, every owner of an interface node holds the same global sum.
+    The two-phase split matches the simulated communicator's
+    send-before-recv discipline (all ranks run phase 1 before any runs
+    phase 2); see :func:`repro.parallel.runner.assemble_partitioned`.
+    """
+    out = local_field.copy()
+    g2l = {int(g): i for i, g in enumerate(plan.node_map)}
+    for nbr in plan.neighbours:
+        gids, vals = comm.recv(nbr, tag)
+        idx = np.fromiter((g2l[int(g)] for g in gids), dtype=np.int64)
+        out[idx] += vals
+    return out

@@ -1,0 +1,91 @@
+"""Constitutive (material) models for density and viscosity.
+
+In default Alya, "specific subroutines calculate the density and viscosity
+depending on the constitutive model that the user selects in input files" --
+even though "in nearly all of the flow problems we solve, density and
+viscosity are constant".  The paper's specialization replaces the runtime
+dispatch with Fortran ``parameter`` constants.
+
+The baseline kernel in this reproduction calls :func:`evaluate_material`
+with a runtime law id (extra branches + parameter loads); the specialized
+kernels inline the constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "MaterialLaw",
+    "Material",
+    "evaluate_material",
+    "AIR",
+    "WATER",
+]
+
+
+class MaterialLaw(enum.IntEnum):
+    CONSTANT = 0
+    SUTHERLAND = 1  # temperature-dependent viscosity
+    BOUSSINESQ = 2  # temperature-dependent density (linearized)
+
+
+@dataclasses.dataclass(frozen=True)
+class Material:
+    """Fluid properties with optional temperature dependence."""
+
+    name: str
+    density: float
+    kinematic_viscosity: float
+    law: MaterialLaw = MaterialLaw.CONSTANT
+    reference_temperature: float = 293.15
+    expansion_coefficient: float = 3.4e-3
+    sutherland_s: float = 110.4
+
+    @property
+    def dynamic_viscosity(self) -> float:
+        return self.density * self.kinematic_viscosity
+
+
+AIR = Material("air", density=1.204, kinematic_viscosity=1.516e-5)
+WATER = Material("water", density=998.2, kinematic_viscosity=1.004e-6)
+
+
+def evaluate_material(
+    material: Material, temperature: np.ndarray | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate (density, kinematic viscosity) fields for a material law.
+
+    For :data:`MaterialLaw.CONSTANT` the result broadcasts scalars; the
+    temperature-dependent laws need a temperature array.  This mirrors the
+    generality the specialized kernels drop.
+    """
+    if material.law is MaterialLaw.CONSTANT or temperature is None:
+        shape = () if temperature is None else np.shape(temperature)
+        return (
+            np.broadcast_to(material.density, shape).astype(np.float64),
+            np.broadcast_to(material.kinematic_viscosity, shape).astype(
+                np.float64
+            ),
+        )
+    t = np.asarray(temperature, dtype=np.float64)
+    if material.law is MaterialLaw.SUTHERLAND:
+        t0 = material.reference_temperature
+        s = material.sutherland_s
+        mu_ratio = (t / t0) ** 1.5 * (t0 + s) / (t + s)
+        return (
+            np.full_like(t, material.density),
+            material.kinematic_viscosity * mu_ratio,
+        )
+    if material.law is MaterialLaw.BOUSSINESQ:
+        rho = material.density * (
+            1.0
+            - material.expansion_coefficient
+            * (t - material.reference_temperature)
+        )
+        return rho, np.full_like(t, material.kinematic_viscosity)
+    raise ValueError(f"unknown material law {material.law}")

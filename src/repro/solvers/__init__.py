@@ -1,0 +1,14 @@
+"""Linear-algebra substrate: CG, preconditioners, smoothed-aggregation AMG
+and deflated CG for the pressure-Poisson problem."""
+
+from .cg import SolveResult, SolverError, conjugate_gradient
+from .precond import ilu0, jacobi, ssor
+from .amg import AmgLevel, SmoothedAggregationAMG
+from .deflation import deflated_cg, partition_coarse_space
+
+__all__ = [
+    "SolveResult", "SolverError", "conjugate_gradient",
+    "ilu0", "jacobi", "ssor",
+    "AmgLevel", "SmoothedAggregationAMG",
+    "deflated_cg", "partition_coarse_space",
+]

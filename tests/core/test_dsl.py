@@ -1,0 +1,182 @@
+"""Kernel DSL: numpy and tracing backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KernelContext,
+    NumpyBackend,
+    Storage,
+    TracingBackend,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return KernelContext(
+        connectivity=np.array([[0, 1, 2, 3], [1, 2, 3, 4]]),
+        coords=np.arange(15, dtype=float).reshape(5, 3),
+        fields={"velocity": np.arange(15, dtype=float).reshape(5, 3) * 0.1},
+        rhs=np.zeros((5, 3)),
+        params={"density": 2.0, "turbulence_model": 1},
+    )
+
+
+# -- numpy backend -----------------------------------------------------------
+
+
+def test_numpy_arithmetic(ctx):
+    bk = NumpyBackend(ctx)
+    a = bk.const(3.0)
+    b = bk.const(4.0)
+    assert ((a + b) * 2.0).payload == pytest.approx(14.0)
+    assert (a - b).payload == pytest.approx(-1.0)
+    assert (a / b).payload == pytest.approx(0.75)
+    assert (-a).payload == pytest.approx(-3.0)
+    assert (b.sqrt()).payload == pytest.approx(2.0)
+    assert bk.const(27.0).cbrt().payload == pytest.approx(3.0)
+    assert (1.0 + a).payload == pytest.approx(4.0)
+    assert (1.0 - a).payload == pytest.approx(-2.0)
+    assert (12.0 / a).payload == pytest.approx(4.0)
+
+
+def test_numpy_maximum_select(ctx):
+    bk = NumpyBackend(ctx)
+    x = bk.const(np.array([1.0, -1.0]))
+    x.payload = np.array([1.0, -1.0])
+    sel = bk.select_gt(x, 0.0, bk.const(10.0), 20.0)
+    assert np.allclose(sel.payload, [10.0, 20.0])
+    assert np.allclose(bk.maximum(x, 0.0).payload, [1.0, 0.0])
+
+
+def test_numpy_temp_store_load(ctx):
+    bk = NumpyBackend(ctx)
+    t = bk.temp("t", (2, 3), Storage.GLOBAL_TEMP)
+    bk.store(t, (1, 2), bk.const(7.0))
+    assert np.allclose(bk.load(t, (1, 2)).payload, 7.0)
+    assert np.allclose(bk.load(t, (0, 0)).payload, 0.0)  # zero-initialized
+
+
+def test_numpy_gathers(ctx):
+    bk = NumpyBackend(ctx)
+    c = bk.gather_coord(1, 2)  # node col 1 of each lane, comp 2
+    assert np.allclose(c.payload, ctx.coords[[1, 2], 2])
+    v = bk.gather_field("velocity", 0, 1)
+    assert np.allclose(v.payload, ctx.fields["velocity"][[0, 1], 1])
+
+
+def test_numpy_scatter_add_reduces(ctx):
+    bk = NumpyBackend(ctx)
+    bk.scatter_add_rhs(0, 0, bk.const(1.0))  # nodes 0 and 1
+    bk.scatter_add_rhs(1, 0, bk.const(1.0))  # nodes 1 and 2
+    assert ctx.rhs[1, 0] == pytest.approx(2.0)  # shared node got both
+    assert ctx.rhs[0, 0] == pytest.approx(1.0)
+
+
+def test_numpy_scatter_respects_active_mask(ctx):
+    ctx.active = np.array([True, False])
+    bk = NumpyBackend(ctx)
+    bk.scatter_add_rhs(0, 0, bk.const(1.0))
+    assert ctx.rhs[0, 0] == pytest.approx(1.0)
+    assert ctx.rhs[1, 0] == pytest.approx(0.0)  # lane 1 masked
+
+
+def test_numpy_params_flags(ctx):
+    bk = NumpyBackend(ctx)
+    assert bk.runtime_param("density").payload == pytest.approx(2.0)
+    assert bk.runtime_flag("turbulence_model") == 1
+
+
+# -- tracing backend ---------------------------------------------------------
+
+
+def test_trace_counts_flops(ctx):
+    bk = TracingBackend(ctx)
+    a = bk.const(2.0)
+    b = a * a + a - a / a
+    assert bk.report.flops == 4
+    assert b.payload == pytest.approx(5.0)  # 2*2 + 2 - 2/2, tracked on lane 0
+
+
+def test_trace_counts_loads_by_storage(ctx):
+    bk = TracingBackend(ctx)
+    t = bk.temp("t", (4,), Storage.GLOBAL_TEMP)
+    p = bk.temp("p", (4,), Storage.PRIVATE)
+    bk.store(t, (0,), bk.const(1.0))
+    bk.load(t, (0,))
+    bk.load(p, (1,))
+    rep = bk.finalize()
+    assert rep.loads[Storage.GLOBAL_TEMP] == 1
+    assert rep.stores[Storage.GLOBAL_TEMP] == 1
+    assert rep.loads[Storage.PRIVATE] == 1
+    assert len(rep.pattern) == 3
+
+
+def test_trace_pattern_roundtrips_values(ctx):
+    bk = TracingBackend(ctx)
+    t = bk.temp("t", (2,), Storage.PRIVATE, static=True)
+    bk.store(t, (0,), bk.const(5.0))
+    assert bk.load(t, (0,)).payload == pytest.approx(5.0)
+    # unwritten slots read as zero
+    assert bk.load(t, (1,)).payload == pytest.approx(0.0)
+
+
+def test_trace_mesh_events_carry_node_slot(ctx):
+    bk = TracingBackend(ctx)
+    bk.gather_coord(2, 1)
+    bk.gather_field("velocity", 3, 0)
+    bk.scatter_add_rhs(0, 2, bk.const(1.0))
+    rep = bk.finalize()
+    mesh_events = [e for e in rep.pattern if e.storage is Storage.MESH]
+    assert [e.node_slot for e in mesh_events] == [2, 3, 0]
+    assert mesh_events[2].is_store()
+
+
+def test_trace_division_by_zero_is_guarded(ctx):
+    bk = TracingBackend(ctx)
+    z = bk.const(0.0)
+    assert (bk.const(1.0) / z).payload == 0.0  # control-flow safe
+
+
+def test_trace_dependency_depth(ctx):
+    bk = TracingBackend(ctx)
+    a = bk.const(1.0)
+    for _ in range(5):
+        a = a + 1.0
+    assert bk.report.dependency_depth >= 5
+
+
+def test_trace_peak_live_values(ctx):
+    bk = TracingBackend(ctx)
+    vals = [bk.const(float(i)) for i in range(10)]
+    assert bk.report.peak_live_values >= 10
+    del vals
+
+
+def test_trace_duplicate_temp_rejected(ctx):
+    bk = TracingBackend(ctx)
+    bk.temp("t", (1,), Storage.PRIVATE)
+    with pytest.raises(ValueError, match="declared twice"):
+        bk.temp("t", (2,), Storage.PRIVATE)
+
+
+def test_trace_report_helpers(traces):
+    rep = traces["B"]
+    assert rep.total_loads > 0 and rep.total_stores > 0
+    assert rep.loadstore(Storage.GLOBAL_TEMP) == (
+        rep.loads[Storage.GLOBAL_TEMP] + rep.stores[Storage.GLOBAL_TEMP]
+    )
+    assert "flops/element" in rep.summary()
+
+
+def test_tempspec_linear_index():
+    from repro.core.storage import TempSpec
+
+    spec = TempSpec("x", (2, 3, 4), Storage.PRIVATE)
+    assert spec.size == 24
+    assert spec.linear_index((0, 0, 0)) == 0
+    assert spec.linear_index((1, 2, 3)) == 23
+    with pytest.raises(IndexError):
+        spec.linear_index((2, 0, 0))
+    with pytest.raises(IndexError):
+        spec.linear_index((0, 0))

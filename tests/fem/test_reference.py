@@ -1,0 +1,122 @@
+"""Reference-element properties: partition of unity, nodal interpolation,
+gradient consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.reference import ELEMENTS, TET04, TET04_GRAD, element
+
+ALL_NAMES = sorted(ELEMENTS)
+
+
+def _interior_points(ref, n=5, seed=0):
+    """Random points safely inside the reference element."""
+    rng = np.random.default_rng(seed)
+    if ref.name == "TET04":
+        b = rng.dirichlet(np.ones(4), size=n)
+        return b[:, 1:] * 0.9
+    if ref.name == "HEX08":
+        return rng.uniform(-0.9, 0.9, size=(n, 3))
+    if ref.name == "PEN06":
+        b = rng.dirichlet(np.ones(3), size=n) * 0.9
+        u = rng.uniform(-0.9, 0.9, size=n)
+        return np.column_stack([b[:, 1], b[:, 2], u])
+    if ref.name == "PYR05":
+        u = rng.uniform(0.0, 0.8, size=n)
+        s = rng.uniform(-0.9, 0.9, size=n) * (1 - u)
+        t = rng.uniform(-0.9, 0.9, size=n) * (1 - u)
+        return np.column_stack([s, t, u])
+    raise AssertionError(ref.name)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_partition_of_unity(name):
+    ref = element(name)
+    vals, _ = ref.evaluate(_interior_points(ref))
+    assert np.allclose(vals.sum(axis=0), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_gradient_sum_zero(name):
+    """d/dx of the partition of unity: gradients sum to zero."""
+    ref = element(name)
+    _, grads = ref.evaluate(_interior_points(ref))
+    assert np.allclose(grads.sum(axis=0), 0.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_nodal_interpolation(name):
+    """N_a(x_b) = delta_ab."""
+    ref = element(name)
+    vals, _ = ref.evaluate(ref.node_coords)
+    assert np.allclose(vals, np.eye(ref.nnode), atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_gradients_match_finite_differences(name):
+    ref = element(name)
+    pts = _interior_points(ref, n=3, seed=1)
+    _, grads = ref.evaluate(pts)
+    eps = 1e-6
+    for d in range(3):
+        plus = pts.copy()
+        plus[:, d] += eps
+        minus = pts.copy()
+        minus[:, d] -= eps
+        vp, _ = ref.evaluate(plus)
+        vm, _ = ref.evaluate(minus)
+        fd = (vp - vm) / (2 * eps)
+        assert np.allclose(grads[:, d, :], fd, atol=1e-6)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_linear_completeness(name):
+    """Shape functions reproduce linear fields exactly at interior points."""
+    ref = element(name)
+    pts = _interior_points(ref, n=4, seed=2)
+    coeff = np.array([0.3, -1.2, 0.7])
+    nodal = ref.node_coords @ coeff + 2.0
+    vals, _ = ref.evaluate(pts)
+    interp = nodal @ vals
+    exact = pts @ coeff + 2.0
+    assert np.allclose(interp, exact, atol=1e-10)
+
+
+def test_tet04_constant_gradient_matrix():
+    _, grads = TET04.evaluate(np.array([[0.1, 0.2, 0.3], [0.3, 0.1, 0.2]]))
+    assert np.allclose(grads[:, :, 0], TET04_GRAD)
+    assert np.allclose(grads[:, :, 1], TET04_GRAD)
+    assert TET04.linear_gradient
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_NAMES if n != "TET04"])
+def test_only_tet_has_constant_gradients(name):
+    assert not element(name).linear_gradient
+
+
+def test_element_lookup_case_insensitive():
+    assert element("tet04") is TET04
+
+
+def test_element_lookup_unknown():
+    with pytest.raises(KeyError, match="unknown element"):
+        element("TET10")
+
+
+def test_evaluate_rejects_wrong_dim():
+    with pytest.raises(ValueError, match="dim"):
+        TET04.evaluate(np.zeros((3, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    s=st.floats(0.01, 0.3),
+    t=st.floats(0.01, 0.3),
+    u=st.floats(0.01, 0.3),
+)
+def test_tet_shapes_nonnegative_inside(s, t, u):
+    vals, _ = TET04.evaluate(np.array([[s, t, u]]))
+    assert (vals >= 0).all()
+    assert vals.sum() == pytest.approx(1.0)

@@ -1,0 +1,182 @@
+"""Simulated communicator, partitioning, halo exchange, parallel assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import box_tet_mesh
+from repro.parallel import (
+    CommError,
+    SimComm,
+    assemble_partitioned,
+    build_plans,
+    element_adjacency,
+    greedy_graph_partition,
+    partition_quality,
+    post_interface,
+    rcb_partition,
+    reduce_interface,
+    run_ranks,
+)
+from repro.physics import AssemblyParams, assemble_momentum_rhs
+
+
+# -- communicator -----------------------------------------------------------------
+
+
+def test_send_recv_roundtrip():
+    world = {}
+    a = SimComm(0, 2, world)
+    b = SimComm(1, 2, world)
+    a.send(1, tag=5, payload={"x": 3})
+    assert b.recv(0, tag=5) == {"x": 3}
+
+
+def test_recv_without_send_raises():
+    world = {}
+    b = SimComm(1, 2, world)
+    with pytest.raises(CommError, match="no message"):
+        b.recv(0, tag=1)
+
+
+def test_invalid_ranks():
+    with pytest.raises(CommError):
+        SimComm(5, 2, {})
+    with pytest.raises(CommError):
+        SimComm(0, 2, {}).send(7, 0, None)
+
+
+def test_allreduce_sum():
+    results = run_ranks(4, lambda c: c.allreduce_sum(c.rank + 1))
+    assert results == [10, 10, 10, 10]
+
+
+def test_allgather():
+    results = run_ranks(3, lambda c: c.allgather(c.rank * 2))
+    assert results == [[0, 2, 4]] * 3
+
+
+# -- partitioning -----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return box_tet_mesh(5, 5, 5)
+
+
+@pytest.mark.parametrize("fn", [rcb_partition, greedy_graph_partition])
+@pytest.mark.parametrize("nparts", [1, 2, 3, 8])
+def test_partition_covers_and_balances(fn, nparts, mesh):
+    labels = fn(mesh, nparts)
+    assert labels.shape == (mesh.nelem,)
+    assert labels.min() >= 0 and labels.max() == nparts - 1
+    q = partition_quality(mesh, labels)
+    assert q["nparts"] == nparts
+    assert q["imbalance"] < 1.4
+
+
+def test_rcb_deterministic(mesh):
+    assert np.array_equal(rcb_partition(mesh, 4), rcb_partition(mesh, 4))
+
+
+def test_partition_rejects_zero(mesh):
+    with pytest.raises(ValueError):
+        rcb_partition(mesh, 0)
+    with pytest.raises(ValueError):
+        greedy_graph_partition(mesh, 0)
+
+
+def test_element_adjacency_symmetric(mesh):
+    offsets, adj = element_adjacency(mesh)
+    pairs = {
+        (e, int(n))
+        for e in range(mesh.nelem)
+        for n in adj[offsets[e] : offsets[e + 1]]
+    }
+    assert all((b, a) in pairs for (a, b) in pairs)
+    # interior tets have 4 face neighbours at most
+    assert max(offsets[1:] - offsets[:-1]) <= 4
+
+
+def test_partition_quality_validates(mesh):
+    with pytest.raises(ValueError, match="per element"):
+        partition_quality(mesh, np.zeros(3, dtype=int))
+
+
+# -- halo plans --------------------------------------------------------------------
+
+
+def test_plans_cover_all_elements(mesh):
+    labels = rcb_partition(mesh, 4)
+    plans = build_plans(mesh, labels)
+    all_eids = np.concatenate([p.element_ids for p in plans])
+    assert np.array_equal(np.sort(all_eids), np.arange(mesh.nelem))
+
+
+def test_interface_nodes_symmetric(mesh):
+    labels = rcb_partition(mesh, 3)
+    plans = build_plans(mesh, labels)
+    for p in plans:
+        for nbr, locals_ in p.neighbours.items():
+            other = plans[nbr]
+            mine = set(p.node_map[locals_])
+            theirs = set(other.node_map[other.neighbours[p.rank]])
+            assert mine == theirs
+
+
+def test_halo_exchange_sums(mesh):
+    labels = rcb_partition(mesh, 2)
+    plans = build_plans(mesh, labels)
+    world = {}
+    comms = [SimComm(r, 2, world) for r in range(2)]
+    fields = [np.full(len(p.node_map), float(p.rank + 1)) for p in plans]
+    for c, p, f in zip(comms, plans, fields):
+        post_interface(c, p, f)
+    out = [
+        reduce_interface(c, p, f) for c, p, f in zip(comms, plans, fields)
+    ]
+    # interface nodes hold 1 + 2 = 3 on both sides
+    for p, o in zip(plans, out):
+        assert np.allclose(o[p.interface_local], 3.0)
+        mask = np.ones(len(p.node_map), dtype=bool)
+        mask[p.interface_local] = False
+        assert np.allclose(o[mask], p.rank + 1)
+
+
+# -- partitioned assembly -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5, 8])
+def test_partitioned_assembly_matches_serial(nranks, mesh):
+    """The MPI-style reduction must be bit-compatible with serial assembly."""
+    params = AssemblyParams(body_force=(0.1, 0.0, -0.2))
+    rng = np.random.default_rng(nranks)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    serial = assemble_momentum_rhs(mesh, u, params)
+    parallel = assemble_partitioned(mesh, u, params, nranks)
+    assert np.abs(parallel - serial).max() < 1e-13
+
+
+def test_partitioned_assembly_with_graph_partition(mesh):
+    params = AssemblyParams()
+    rng = np.random.default_rng(9)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    labels = greedy_graph_partition(mesh, 4)
+    parallel = assemble_partitioned(mesh, u, params, 4, labels=labels)
+    serial = assemble_momentum_rhs(mesh, u, params)
+    assert np.allclose(parallel, serial, atol=1e-13)
+
+
+@settings(max_examples=8, deadline=None)
+@given(nranks=st.integers(1, 6), seed=st.integers(0, 100))
+def test_property_partitioned_assembly(nranks, seed):
+    mesh = box_tet_mesh(3, 3, 3)
+    params = AssemblyParams()
+    rng = np.random.default_rng(seed)
+    u = 0.2 * rng.standard_normal((mesh.nnode, 3))
+    assert np.allclose(
+        assemble_partitioned(mesh, u, params, nranks),
+        assemble_momentum_rhs(mesh, u, params),
+        atol=1e-12,
+    )
