@@ -7,11 +7,9 @@ parallel elemental assembly on this machine.
 Run:  pytest benchmarks/bench_fig2_cpu_scaling.py --benchmark-only -s
 """
 
-import numpy as np
 import pytest
 
 from repro.parallel import MultiprocessRunner
-from repro.physics import AssemblyParams, element_rhs
 
 WORKERS = [1, 2, 4, 8, 16, 17, 18, 24, 32, 48, 60, 71]
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Non-fatal perf regression guard.
+
+Compares a fresh ``BENCH_variants.json`` against the committed baseline
+(``benchmarks/bench_baseline.json``) and warns when a variant's real wall
+clock regressed by more than the threshold (default 20%).  Model runtimes
+are compared too, but those are deterministic -- any drift there means the
+machine model itself changed.
+
+Exit code is 0 unless ``--strict`` is passed (then >threshold wall-clock
+regressions fail the run).  Wall-clock noise on shared CI runners is why
+the default is warn-only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [--bench BENCH_variants.json] [--baseline benchmarks/bench_baseline.json] \
+        [--threshold 0.20] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs import read_bench_json  # noqa: E402
+
+
+def _by_variant(doc: dict) -> dict:
+    return {e["variant"]: e for e in doc.get("entries", []) if "variant" in e}
+
+
+def compare(bench: dict, baseline: dict, threshold: float) -> list:
+    """Return [(variant, field, old, new, ratio)] for regressed entries."""
+    fresh = _by_variant(bench)
+    base = _by_variant(baseline)
+    regressions = []
+    for variant, entry in sorted(fresh.items()):
+        ref = base.get(variant)
+        if ref is None:
+            continue
+        for field in ("wall_ms", "gpu_model_runtime_ms", "cpu_model_runtime_ms"):
+            old, new = ref.get(field), entry.get(field)
+            if old is None or new is None or old <= 0:
+                continue
+            ratio = new / old
+            if ratio > 1.0 + threshold:
+                regressions.append((variant, field, old, new, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default=str(_REPO_ROOT / "BENCH_variants.json"))
+    ap.add_argument(
+        "--baseline",
+        default=str(_REPO_ROOT / "benchmarks" / "bench_baseline.json"),
+    )
+    ap.add_argument("--threshold", type=float, default=0.20)
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on wall-clock regressions instead of warning",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        bench = read_bench_json(args.bench)
+    except (OSError, ValueError) as exc:
+        print(f"check_regression: no fresh bench results ({exc}); skipping")
+        return 0
+    try:
+        baseline = read_bench_json(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"check_regression: no baseline ({exc}); skipping")
+        return 0
+
+    regressions = compare(bench, baseline, args.threshold)
+    if not regressions:
+        print(
+            f"check_regression: OK -- no >{args.threshold:.0%} regressions "
+            f"across {len(_by_variant(bench))} variants"
+        )
+        return 0
+
+    print(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
+    wall_regressed = False
+    for variant, field, old, new, ratio in regressions:
+        print(
+            f"  {variant:>5s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
+            f"({ratio - 1.0:+.0%})"
+        )
+        wall_regressed |= field == "wall_ms"
+    if args.strict and wall_regressed:
+        return 1
+    print("check_regression: non-fatal (pass --strict to enforce)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,19 +3,64 @@
 The machine-model study is session-scoped: every table/figure bench reads
 from the same traced kernels, exactly as the paper's tables all come from
 one measurement campaign.
+
+Every benchmark session runs under an enabled :class:`repro.obs.Tracer`
+and a fresh metrics registry; at session exit the ``BENCH_*`` artifacts
+(``BENCH_variants.json`` summary, ``BENCH_trace.json`` Chrome trace,
+``BENCH_spans.jsonl`` span log) are written to the repo root -- the perf
+trajectory consumed by ``benchmarks/check_regression.py`` and the CI
+artifact upload.  Set ``REPRO_BENCH_DIR`` to redirect them.
 """
+
+import os
+import pathlib
 
 import numpy as np
 import pytest
 
 from repro.core import OptimizationStudy, UnifiedAssembler
 from repro.fem import box_tet_mesh
+from repro.io import write_bench_artifacts
+from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
 from repro.physics import AssemblyParams
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
-def study():
-    return OptimizationStudy()
+def bench_tracer():
+    tracer = Tracer(pid=0)
+    set_tracer(tracer)
+    yield tracer
+    set_tracer(None)
+
+
+@pytest.fixture(scope="session")
+def bench_registry():
+    registry = set_registry(MetricsRegistry())
+    yield registry
+    set_registry(None)
+
+
+@pytest.fixture(scope="session")
+def study(bench_tracer, bench_registry):
+    return OptimizationStudy(tracer=bench_tracer, metrics=bench_registry)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_artifacts(study, bench_tracer, bench_registry):
+    """Emit the BENCH_* perf artifacts when the bench session ends."""
+    yield
+    entries = study.bench_summary()
+    outdir = os.environ.get("REPRO_BENCH_DIR", str(_REPO_ROOT))
+    paths = write_bench_artifacts(
+        outdir,
+        entries,
+        tracer=bench_tracer,
+        metrics=bench_registry,
+        meta={"source": "benchmarks", "nelem": int(study.mesh.nelem)},
+    )
+    print(f"\nbench artifacts: {', '.join(sorted(paths.values()))}")
 
 
 @pytest.fixture(scope="session")
@@ -37,5 +82,7 @@ def bench_velocity(bench_mesh):
 
 
 @pytest.fixture(scope="session")
-def bench_assembler(bench_mesh, bench_params):
-    return UnifiedAssembler(bench_mesh, bench_params, vector_dim=1024)
+def bench_assembler(bench_mesh, bench_params, bench_tracer):
+    return UnifiedAssembler(
+        bench_mesh, bench_params, vector_dim=1024, tracer=bench_tracer
+    )

@@ -19,14 +19,15 @@ Subpackages: :mod:`repro.fem` (tetrahedral FEM substrate),
 :mod:`repro.physics` (incompressible LES), :mod:`repro.core` (the kernel
 variants + DSL + study), :mod:`repro.machine` (A100/Icelake execution
 models), :mod:`repro.solvers` (CG/AMG), :mod:`repro.parallel` (MPI-style
-decomposition), :mod:`repro.io` (VTK + reports).
+decomposition), :mod:`repro.io` (VTK + reports), :mod:`repro.obs`
+(telemetry: spans, metrics, perf artifacts).
 """
 
 __version__ = "1.0.0"
 
-from . import core, fem, io, machine, parallel, physics, solvers  # noqa: F401
+from . import core, fem, io, machine, obs, parallel, physics, solvers  # noqa: F401
 
 __all__ = [
-    "core", "fem", "io", "machine", "parallel", "physics", "solvers",
+    "core", "fem", "io", "machine", "obs", "parallel", "physics", "solvers",
     "__version__",
 ]

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..fem.quadrature import rule_for
 from ..fem.reference import element
-from .dsl import Backend, KernelContext, Value
+from .dsl import Backend, KernelContext
 from .storage import Storage
 
 __all__ = ["make_baseline_kernel", "baseline_kernel", "privatized_kernel"]

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..machine.gpu import GpuModel
 from .dsl import Backend, KernelContext, TracingBackend
-from .storage import AccessKind, Storage
+from .storage import Storage
 
 __all__ = ["Listing3Result", "run_listing3", "make_listing3_kernel", "ROWLEN"]
 

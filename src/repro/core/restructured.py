@@ -29,8 +29,6 @@ variant-equality tests.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..fem.quadrature import rule_for
 from ..fem.reference import TET04
 from .dsl import Backend, KernelContext

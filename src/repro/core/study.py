@@ -10,7 +10,7 @@ class.
 
 from __future__ import annotations
 
-import dataclasses
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -22,6 +22,8 @@ from ..machine.cpu import CpuModel
 from ..machine.energy import energy_comparison
 from ..machine.gpu import GpuModel
 from ..machine.roofline import Roofline, RooflinePoint, gpu_roofline
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import NULL_TRACER
 from ..physics.momentum import AssemblyParams
 from .unified import UnifiedAssembler
 from .variants import variant_names
@@ -46,6 +48,14 @@ class OptimizationStudy:
         Mesh size runtimes are extrapolated to (paper: 32.6M elements).
     seed:
         RNG seed for the synthetic velocity field used while tracing.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When enabled, every variant
+        gets a nested span tree (``variant`` > ``kernel_trace`` /
+        ``gpu_model`` / ``cpu_model``) suitable for Chrome-trace export.
+    metrics:
+        Registry receiving per-variant model runtimes
+        (``study.gpu_runtime_ms.<V>`` / ``study.cpu_runtime_ms.<V>``
+        gauges); defaults to the process-wide registry.
     """
 
     def __init__(
@@ -56,6 +66,8 @@ class OptimizationStudy:
         cpu_model: Optional[CpuModel] = None,
         nelem_total: float = PAPER_NELEM,
         seed: int = 2024,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.mesh = mesh if mesh is not None else box_tet_mesh(12, 12, 12)
         self.params = params if params is not None else AssemblyParams(
@@ -64,10 +76,18 @@ class OptimizationStudy:
         self.gpu_model = gpu_model if gpu_model is not None else GpuModel()
         self.cpu_model = cpu_model if cpu_model is not None else CpuModel()
         self.nelem_total = float(nelem_total)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._metrics = metrics
         rng = np.random.default_rng(seed)
         self.velocity = 0.1 * rng.standard_normal((self.mesh.nnode, 3))
-        self.assembler = UnifiedAssembler(self.mesh, self.params, vector_dim=64)
+        self.assembler = UnifiedAssembler(
+            self.mesh, self.params, vector_dim=64, tracer=self.tracer
+        )
         self._traces: Dict[str, object] = {}
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return get_registry() if self._metrics is None else self._metrics
 
     # ------------------------------------------------------------------
     def trace(self, variant: str):
@@ -82,12 +102,20 @@ class OptimizationStudy:
     def gpu_table(self, variants: Optional[List[str]] = None) -> List[GpuCounters]:
         """Table II: GPU counters for B, P, RS, RSP, RSPR."""
         names = variants or list(variant_names("gpu"))
-        return [
-            self.gpu_model.run(
-                v, self.trace(v), self.mesh.connectivity, self.nelem_total
-            )
-            for v in names
-        ]
+        out: List[GpuCounters] = []
+        with self.tracer.span("gpu_table", variants=list(names)):
+            for v in names:
+                with self.tracer.span("variant", variant=v, target="gpu"):
+                    trace = self.trace(v)
+                    with self.tracer.span("gpu_model", variant=v):
+                        counters = self.gpu_model.run(
+                            v, trace, self.mesh.connectivity, self.nelem_total
+                        )
+                    self.metrics.gauge(f"study.gpu_runtime_ms.{v}").set(
+                        counters.runtime_ms
+                    )
+                    out.append(counters)
+        return out
 
     # ------------------------------------------------------------------
     # Table I
@@ -95,12 +123,20 @@ class OptimizationStudy:
     def cpu_table(self, variants: Optional[List[str]] = None) -> List[CpuCounters]:
         """Table I: CPU counters for B, RS, RSP."""
         names = variants or list(variant_names("cpu"))
-        return [
-            self.cpu_model.run(
-                v, self.trace(v), self.mesh.connectivity, self.nelem_total
-            )
-            for v in names
-        ]
+        out: List[CpuCounters] = []
+        with self.tracer.span("cpu_table", variants=list(names)):
+            for v in names:
+                with self.tracer.span("variant", variant=v, target="cpu"):
+                    trace = self.trace(v)
+                    with self.tracer.span("cpu_model", variant=v):
+                        counters = self.cpu_model.run(
+                            v, trace, self.mesh.connectivity, self.nelem_total
+                        )
+                    self.metrics.gauge(f"study.cpu_runtime_ms.{v}").set(
+                        counters.runtime_1c_ms
+                    )
+                    out.append(counters)
+        return out
 
     # ------------------------------------------------------------------
     # Figure 2
@@ -165,6 +201,50 @@ class OptimizationStudy:
         )
 
     # ------------------------------------------------------------------
+    # Machine-readable perf summary
+    # ------------------------------------------------------------------
+    def bench_summary(
+        self,
+        variants: Optional[List[str]] = None,
+        repeats: int = 1,
+    ):
+        """Per-variant real wall clock plus model runtimes (bench.json rows).
+
+        For every variant this times ``repeats`` actual numpy assemblies of
+        the study mesh (best-of), attaches the machine-model runtimes at
+        ``nelem_total`` elements, and records everything into the metrics
+        registry -- the raw material of ``BENCH_variants.json``.
+        """
+        names = list(variants) if variants is not None else list(variant_names())
+        gpu_rt = {c.variant: c.runtime_ms for c in self.gpu_table()}
+        cpu_rt = {c.variant: c.runtime_1c_ms for c in self.cpu_table()}
+        entries: List[Dict[str, object]] = []
+        with self.tracer.span("bench_summary", repeats=int(repeats)):
+            for v in names:
+                walls = []
+                for _ in range(max(1, int(repeats))):
+                    t0 = time.perf_counter()
+                    self.assembler.assemble(v, self.velocity)
+                    walls.append(time.perf_counter() - t0)
+                wall = min(walls)
+                entry: Dict[str, object] = {
+                    "variant": v,
+                    "nelem": int(self.mesh.nelem),
+                    "wall_ms": wall * 1e3,
+                    "melem_per_s": self.mesh.nelem / wall / 1e6,
+                }
+                if v in gpu_rt:
+                    entry["gpu_model_runtime_ms"] = gpu_rt[v]
+                if v in cpu_rt:
+                    entry["cpu_model_runtime_ms"] = cpu_rt[v]
+                self.metrics.gauge(f"study.wall_ms.{v}").set(entry["wall_ms"])
+                self.metrics.counter("study.elements_assembled").inc(
+                    self.mesh.nelem * max(1, int(repeats))
+                )
+                entries.append(entry)
+        return entries
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     @staticmethod
@@ -185,6 +265,10 @@ class OptimizationStudy:
             }
             for c in table
         ]
+        if not rows:
+            return format_table(
+                [], ["variant"], title="Table II (GPU, per element) -- empty"
+            )
         cols = list(rows[0].keys())
         return format_table(rows, cols, title="Table II (GPU, per element)")
 
@@ -205,5 +289,9 @@ class OptimizationStudy:
             }
             for c in table
         ]
+        if not rows:
+            return format_table(
+                [], ["variant"], title="Table I (CPU, per element) -- empty"
+            )
         cols = list(rows[0].keys())
         return format_table(rows, cols, title="Table I (CPU, per element)")

@@ -17,12 +17,13 @@ original code could handle" made explicit.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..fem.mesh import TetMesh
 from ..fem.packing import ElementPacking
+from ..obs.spans import NULL_TRACER
 from ..physics.momentum import AssemblyParams
 from ..physics.convection import ConvectiveForm
 from ..physics.turbulence import TurbulenceModel
@@ -100,11 +101,16 @@ class UnifiedAssembler:
     vector_dim:
         Element-group size.  Defaults to the CPU choice; pass
         :data:`GPU_VECTOR_DIM` to emulate the GPU launch configuration.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; assemblies and kernel traces
+        are recorded as ``assemble`` / ``kernel_trace`` spans.  Defaults to
+        the no-op tracer (zero overhead).
     """
 
     mesh: TetMesh
     params: AssemblyParams = dataclasses.field(default_factory=AssemblyParams)
     vector_dim: int = CPU_VECTOR_DIM
+    tracer: object = dataclasses.field(default=NULL_TRACER, repr=False)
 
     def __post_init__(self) -> None:
         self.packing = ElementPacking(self.mesh, vector_dim=self.vector_dim)
@@ -135,10 +141,16 @@ class UnifiedAssembler:
                 f"velocity must be ({self.mesh.nnode}, 3), got {velocity.shape}"
             )
         rhs = np.zeros((self.mesh.nnode, 3))
-        for group in self.packing:
-            ctx = self._context(group, velocity, rhs)
-            bk = NumpyBackend(ctx)
-            variant.kernel(bk, ctx)
+        with self.tracer.span(
+            "assemble",
+            variant=variant.name,
+            nelem=int(self.mesh.nelem),
+            vector_dim=int(self.vector_dim),
+        ):
+            for group in self.packing:
+                ctx = self._context(group, velocity, rhs)
+                bk = NumpyBackend(ctx)
+                variant.kernel(bk, ctx)
         return rhs
 
     def trace(
@@ -154,7 +166,10 @@ class UnifiedAssembler:
             velocity = np.zeros((self.mesh.nnode, 3))
         group = self.packing.group(group_index)
         rhs = np.zeros((self.mesh.nnode, 3))
-        ctx = self._context(group, np.asarray(velocity, dtype=np.float64), rhs)
-        bk = TracingBackend(ctx)
-        variant.kernel(bk, ctx)
-        return bk.finalize()
+        with self.tracer.span(
+            "kernel_trace", variant=variant.name, group=int(group_index)
+        ):
+            ctx = self._context(group, np.asarray(velocity, dtype=np.float64), rhs)
+            bk = TracingBackend(ctx)
+            variant.kernel(bk, ctx)
+            return bk.finalize()

@@ -8,8 +8,6 @@ examples.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 from .mesh import TetMesh

@@ -21,7 +21,7 @@ resulting mesh is a valid conforming tetrahedralization.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 

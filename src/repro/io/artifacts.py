@@ -1,0 +1,67 @@
+"""Perf-artifact writers: the ``BENCH_*`` files of one measurement session.
+
+One call -- :func:`write_bench_artifacts` -- turns a finished
+:class:`~repro.core.study.OptimizationStudy` session into the repo's
+machine-readable perf trajectory:
+
+* ``BENCH_variants.json`` -- flat per-variant summary (wall clock + model
+  runtimes + metric registry snapshot), schema ``repro-bench/1``
+  (:data:`repro.obs.BENCH_SCHEMA`).
+* ``BENCH_trace.json`` -- Chrome trace-event timeline of every span the
+  session recorded (open in ``chrome://tracing`` or Perfetto).
+* ``BENCH_spans.jsonl`` -- lossless JSON-lines span log.
+
+The benchmark harness (``benchmarks/conftest.py``) calls this at session
+exit; ``benchmarks/check_regression.py`` compares the summary against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from ..obs.export import write_bench_json, write_chrome_trace, write_spans_jsonl
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import NULL_TRACER
+
+__all__ = ["write_bench_artifacts", "DEFAULT_ARTIFACT_NAMES"]
+
+DEFAULT_ARTIFACT_NAMES = {
+    "bench": "BENCH_variants.json",
+    "trace": "BENCH_trace.json",
+    "spans": "BENCH_spans.jsonl",
+}
+
+
+def write_bench_artifacts(
+    outdir: str,
+    entries: List[Dict[str, Any]],
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, str]:
+    """Write the BENCH_* artifact set; returns ``{kind: path}``.
+
+    ``entries`` are bench.json rows (e.g. from
+    :meth:`~repro.core.study.OptimizationStudy.bench_summary`); the trace
+    and span-log files are only written when ``tracer`` has recorded spans.
+    """
+    tracer = NULL_TRACER if tracer is None else tracer
+    os.makedirs(outdir, exist_ok=True)
+    paths: Dict[str, str] = {}
+
+    bench_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["bench"])
+    write_bench_json(bench_path, entries, metrics=metrics, meta=meta)
+    paths["bench"] = bench_path
+
+    spans = tracer.export()
+    if spans:
+        trace_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["trace"])
+        write_chrome_trace(spans, trace_path, metadata=meta)
+        paths["trace"] = trace_path
+
+        spans_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["spans"])
+        write_spans_jsonl(spans, spans_path)
+        paths["spans"] = spans_path
+    return paths

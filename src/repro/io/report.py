@@ -7,7 +7,7 @@ published numbers are transcribed from the paper's Tables I-III.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..machine.counters import CpuCounters, GpuCounters, format_table
 

@@ -20,7 +20,7 @@ to DRAM").
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["LruCache", "SetAssociativeCache", "CacheStats"]
 

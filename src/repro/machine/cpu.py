@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.dsl import TraceReport
-from ..core.storage import AccessKind, MemoryEvent, Storage
+from ..core.storage import MemoryEvent, Storage
 from .cache import LruCache
 from .counters import CpuCounters
 from .spec import ICELAKE_8360Y, CpuSpec

@@ -1,0 +1,49 @@
+"""Telemetry substrate: hierarchical spans, metric registry, exporters.
+
+Dependency-free observability for the reproduction's hot paths.  The
+default everywhere is the no-op :data:`NULL_TRACER`, so instrumentation
+costs nothing until a caller opts in::
+
+    from repro.obs import Tracer, get_registry, write_chrome_trace
+
+    tracer = Tracer()
+    study = OptimizationStudy(tracer=tracer)
+    study.gpu_table()
+    write_chrome_trace(tracer.finished, "trace.json")
+    print(get_registry().snapshot())
+"""
+
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .export import (
+    BENCH_SCHEMA,
+    chrome_trace_events,
+    read_bench_json,
+    read_spans_jsonl,
+    write_bench_json,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "NULL_TRACER", "NullTracer", "Span", "Tracer", "get_tracer", "set_tracer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry",
+    "BENCH_SCHEMA", "chrome_trace_events",
+    "read_bench_json", "read_spans_jsonl",
+    "write_bench_json", "write_chrome_trace", "write_spans_jsonl",
+]

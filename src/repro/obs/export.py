@@ -1,0 +1,164 @@
+"""Exporters: JSON-lines span logs, Chrome trace-event files, bench.json.
+
+Three machine-readable artifact formats, all dependency-free:
+
+* **JSON lines** (``*.jsonl``): one span dict per line, the lossless
+  archival format -- :func:`read_spans_jsonl` round-trips exactly.
+* **Chrome trace events** (``*.json``): complete-event (``"ph": "X"``)
+  records openable in ``chrome://tracing`` / Perfetto; one process row per
+  recorded ``pid`` (rank), microsecond timestamps.
+* **bench.json**: the flat perf-trajectory summary
+  (``BENCH_variants.json``).  Schema (``repro-bench/1``)::
+
+      {
+        "schema": "repro-bench/1",
+        "created_unix": <float, epoch seconds>,
+        "entries": [            # one per benchmarked variant
+          {"variant": "RSP", "wall_ms": 12.3,
+           "gpu_model_runtime_ms": 512.0, "cpu_model_runtime_ms": 8400.0,
+           "melem_per_s": 0.84, "nelem": 10368, ...}
+        ],
+        "metrics": { "<name>": {"kind": ..., ...} }   # registry snapshot
+      }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_bench_json",
+    "read_bench_json",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+_SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_dicts(spans: Iterable[_SpanLike]) -> List[Dict[str, Any]]:
+    return [s.to_dict() if isinstance(s, Span) else dict(s) for s in spans]
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def write_spans_jsonl(spans: Iterable[_SpanLike], path: str) -> int:
+    """Write one span dict per line; returns the number written."""
+    dicts = _as_dicts(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        for d in dicts:
+            fh.write(json.dumps(d, sort_keys=True) + "\n")
+    return len(dicts)
+
+
+def read_spans_jsonl(path: str) -> List[Span]:
+    """Read spans back from a JSON-lines file."""
+    out: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Span.from_dict(json.loads(line)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace_events(spans: Iterable[_SpanLike]) -> List[Dict[str, Any]]:
+    """Convert spans to Chrome complete events (``ph: "X"``, ts/dur in us).
+
+    Timestamps are re-based so the earliest span starts at ts=0, which
+    keeps the timeline readable regardless of the epoch anchor.
+    """
+    dicts = [d for d in _as_dicts(spans) if d.get("end") is not None]
+    if not dicts:
+        return []
+    t0 = min(float(d["start"]) for d in dicts)
+    events = []
+    for d in sorted(dicts, key=lambda d: (d["start"], -float(d["end"]))):
+        events.append(
+            {
+                "name": d["name"],
+                "ph": "X",
+                "ts": (float(d["start"]) - t0) * 1e6,
+                "dur": (float(d["end"]) - float(d["start"])) * 1e6,
+                "pid": int(d.get("pid", 0)),
+                "tid": int(d.get("tid", 0)),
+                "args": dict(d.get("attributes", {})),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    spans: Iterable[_SpanLike],
+    path: str,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a ``chrome://tracing`` JSON object file; returns event count."""
+    events = chrome_trace_events(spans)
+    doc: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# bench.json
+# ---------------------------------------------------------------------------
+
+
+def write_bench_json(
+    path: str,
+    entries: Iterable[Dict[str, Any]],
+    metrics: Optional[Union[MetricsRegistry, Dict[str, Any]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the flat ``bench.json`` summary; returns the written document."""
+    snap: Dict[str, Any] = {}
+    if isinstance(metrics, MetricsRegistry):
+        snap = metrics.snapshot()
+    elif metrics:
+        snap = dict(metrics)
+    doc: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "entries": [dict(e) for e in entries],
+        "metrics": snap,
+    }
+    if meta:
+        doc["meta"] = dict(meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def read_bench_json(path: str) -> Dict[str, Any]:
+    """Read a bench.json document, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unexpected bench schema {doc.get('schema')!r} "
+            f"(want {BENCH_SCHEMA!r})"
+        )
+    return doc

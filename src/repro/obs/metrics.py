@@ -1,0 +1,205 @@
+"""Process-wide metric registry: counters, gauges and histograms.
+
+The registry is the reproduction's analogue of a LIKWID counter group --
+named, monotonically accumulated quantities (CG iterations, halo bytes
+exchanged, elements assembled) that the exporters flatten into
+``bench.json``.  Names are dotted paths (``"cg.iterations"``,
+``"halo.bytes_exchanged"``); the registry creates instruments lazily on
+first use so call sites stay one-liners::
+
+    get_registry().counter("cg.iterations").inc(result.iterations)
+
+Registries from worker processes merge with :meth:`MetricsRegistry.merge`
+(counters/histograms add, gauges keep the latest value), mirroring an MPI
+reduction of per-rank counter sets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """Monotonic accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. current residual norm)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max + samples).
+
+    Keeps at most ``max_samples`` raw observations (the earliest ones) so
+    exports stay bounded; the scalar summary is always exact.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, max_samples: int = 512) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = int(max_samples)
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "samples": list(self.samples),
+        }
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily, snapshot/merge-able."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory) -> _Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory(name)
+                self._instruments[name] = inst
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        inst = self._get(name, Counter)
+        if not isinstance(inst, Counter):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a counter")
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._get(name, Gauge)
+        if not isinstance(inst, Gauge):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a gauge")
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._get(name, Histogram)
+        if not isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a histogram")
+        return inst
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready ``{name: {kind, ...}}`` view of every instrument."""
+        with self._lock:
+            return {n: i.snapshot() for n, i in sorted(self._instruments.items())}
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, Dict[str, Any]]]) -> None:
+        """Fold another registry (or its :meth:`snapshot`) into this one.
+
+        Counters and histograms accumulate; gauges take the incoming value
+        (last writer wins) -- the natural reduction for per-rank metric
+        sets returned through a multiprocessing boundary.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, data in snap.items():
+            kind = data.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(data.get("value") or 0.0))
+            elif kind == "gauge":
+                if data.get("value") is not None:
+                    self.gauge(name).set(data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                n = int(data.get("count", 0))
+                samples = list(data.get("samples", []))
+                for v in samples:
+                    hist.record(v)
+                # account for clipped samples without losing the summary
+                extra = n - len(samples)
+                if extra > 0:
+                    hist.count += extra
+                    hist.total += float(data.get("sum", 0.0)) - sum(samples)
+                    for bound in (data.get("min"), data.get("max")):
+                        if bound is not None:
+                            hist.min = bound if hist.min is None else min(hist.min, bound)
+                            hist.max = bound if hist.max is None else max(hist.max, bound)
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install a process-wide default registry (fresh one if ``None``);
+    returns the installed registry."""
+    global _default_registry
+    _default_registry = registry if registry is not None else MetricsRegistry()
+    return _default_registry

@@ -10,9 +10,7 @@ the scaling study lives in :mod:`repro.parallel.runner`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List
 
 __all__ = ["SimComm", "run_ranks", "CommError"]
 

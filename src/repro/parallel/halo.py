@@ -10,7 +10,7 @@ performs the exchange over a :class:`~repro.parallel.comm.SimComm`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -23,9 +23,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..fem.mesh import TetMesh
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import NULL_TRACER, Tracer
 from ..physics.momentum import AssemblyParams, element_rhs
-from .comm import SimComm, run_ranks
-from .halo import SubdomainPlan, build_plans, post_interface, reduce_interface
+from .comm import SimComm
+from .halo import build_plans, post_interface, reduce_interface
 from .partition import rcb_partition
 
 __all__ = ["assemble_partitioned", "MultiprocessRunner", "ScalingPoint"]
@@ -37,12 +39,20 @@ def assemble_partitioned(
     params: AssemblyParams,
     nranks: int,
     labels: Optional[np.ndarray] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> np.ndarray:
     """Assemble the momentum RHS over ``nranks`` simulated MPI ranks.
 
     Returns the *global* RHS gathered from the owning subdomains; interface
     nodes are reduced by halo exchange and must equal the serial assembly.
+    Halo traffic is accounted in the ``halo.bytes_exchanged`` /
+    ``halo.messages`` counters of ``metrics`` (process-wide registry by
+    default); per-rank work is recorded as ``rank_assemble`` spans when a
+    ``tracer`` is passed.
     """
+    tracer = NULL_TRACER if tracer is None else tracer
+    registry = get_registry() if metrics is None else metrics
     if labels is None:
         labels = rcb_partition(mesh, nranks)
     plans = build_plans(mesh, labels)
@@ -50,17 +60,23 @@ def assemble_partitioned(
 
     def phase(comm: SimComm):
         plan = plans[comm.rank]
-        xel = mesh.coords[mesh.connectivity[plan.element_ids]]
-        uel = velocity[mesh.connectivity[plan.element_ids]]
-        elem = element_rhs(xel, uel, params)
-        local = np.zeros((len(plan.node_map), 3))
-        np.add.at(
-            local,
-            plan.local_connectivity.ravel(),
-            elem.reshape(-1, 3),
-        )
-        partials[comm.rank] = local
-        post_interface(comm, plan, local)
+        with tracer.span(
+            "rank_assemble", rank=comm.rank, nelem=int(len(plan.element_ids))
+        ):
+            xel = mesh.coords[mesh.connectivity[plan.element_ids]]
+            uel = velocity[mesh.connectivity[plan.element_ids]]
+            elem = element_rhs(xel, uel, params)
+            local = np.zeros((len(plan.node_map), 3))
+            np.add.at(
+                local,
+                plan.local_connectivity.ravel(),
+                elem.reshape(-1, 3),
+            )
+            partials[comm.rank] = local
+            post_interface(comm, plan, local)
+        for idx in plan.neighbours.values():
+            registry.counter("halo.bytes_exchanged").inc(idx.size * 3 * 8)
+            registry.counter("halo.messages").inc()
         return None
 
     def phase2(comm: SimComm):
@@ -100,14 +116,21 @@ class ScalingPoint:
     efficiency: float
 
 
-def _worker_assemble(args: Tuple) -> float:
+def _worker_assemble(args: Tuple) -> Tuple[float, List[dict]]:
     """Worker: assemble its element chunk ``repeats`` times (module-level
-    for pickling)."""
-    xel, uel, params, repeats = args
+    for pickling).
+
+    Returns the elapsed seconds plus the worker-local span timeline as
+    plain dicts, so the parent can merge every rank into one trace.
+    """
+    rank, xel, uel, params, repeats, traced = args
+    tracer = Tracer(pid=rank) if traced else NULL_TRACER
     t0 = time.perf_counter()
-    for _ in range(repeats):
-        element_rhs(xel, uel, params)
-    return time.perf_counter() - t0
+    with tracer.span("rank", rank=rank, nelem=int(len(xel)), repeats=repeats):
+        for rep in range(repeats):
+            with tracer.span("assemble_chunk", rep=rep):
+                element_rhs(xel, uel, params)
+    return time.perf_counter() - t0, tracer.export()
 
 
 class MultiprocessRunner:
@@ -124,30 +147,40 @@ class MultiprocessRunner:
         params: AssemblyParams,
         repeats: int = 3,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self.mesh = mesh
         self.params = params
         self.repeats = int(repeats)
+        self.tracer = NULL_TRACER if tracer is None else tracer
         rng = np.random.default_rng(seed)
         self.velocity = 0.1 * rng.standard_normal((mesh.nnode, 3))
 
     def measure(self, worker_counts: List[int]) -> List[ScalingPoint]:
         xall = self.mesh.element_coords()
         uall = self.velocity[self.mesh.connectivity]
+        traced = bool(self.tracer.enabled)
         base: Optional[float] = None
         points = []
         for w in worker_counts:
             chunks = np.array_split(np.arange(self.mesh.nelem), w)
             args = [
-                (xall[c], uall[c], self.params, self.repeats) for c in chunks
+                (rank, xall[c], uall[c], self.params, self.repeats, traced)
+                for rank, c in enumerate(chunks)
             ]
-            t0 = time.perf_counter()
-            if w == 1:
-                _worker_assemble(args[0])
-            else:
-                with mp.get_context("spawn").Pool(processes=w) as pool:
-                    pool.map(_worker_assemble, args)
-            wall = time.perf_counter() - t0
+            with self.tracer.span("measure", workers=w) as span:
+                t0 = time.perf_counter()
+                if w == 1:
+                    results = [_worker_assemble(args[0])]
+                else:
+                    with mp.get_context("spawn").Pool(processes=w) as pool:
+                        results = pool.map(_worker_assemble, args)
+                wall = time.perf_counter() - t0
+                if span is not None:
+                    span.attributes["wall_seconds"] = wall
+            # merge per-rank timelines (worker pids relabelled to ranks)
+            for rank, (_, rank_spans) in enumerate(results):
+                self.tracer.add_spans(rank_spans, pid=rank)
             if base is None:
                 base = wall
             speedup = base / wall

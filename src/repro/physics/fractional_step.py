@@ -28,6 +28,8 @@ import numpy as np
 from ..fem.boundary import DirichletBC
 from ..fem.fields import lumped_mass
 from ..fem.mesh import TetMesh
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import NULL_TRACER
 from .momentum import AssemblyParams, assemble_momentum_rhs
 from .pressure import PressureSolver
 
@@ -82,6 +84,14 @@ class FractionalStepSolver:
         DSL kernel variants end-to-end.
     sweeps_per_step:
         Runge-Kutta stages (3, matching the paper's runtime convention).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; each :meth:`advance` records a
+        ``step`` span with nested ``momentum`` / ``pressure`` /
+        ``projection`` stage spans.  Defaults to the no-op tracer.
+    metrics:
+        Registry receiving ``fstep.steps`` / ``fstep.assemblies`` counters
+        and the ``fstep.pressure_iterations`` histogram; defaults to the
+        process-wide registry.
     """
 
     def __init__(
@@ -92,9 +102,13 @@ class FractionalStepSolver:
         assemble: Optional[Callable] = None,
         pressure_solver: Optional[PressureSolver] = None,
         sweeps_per_step: int = 3,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.mesh = mesh
         self.params = params
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._metrics = metrics
         self.dirichlet = list(dirichlet)
         self.assemble = assemble or assemble_momentum_rhs
         self.pressure = pressure_solver or PressureSolver(mesh)
@@ -143,32 +157,43 @@ class FractionalStepSolver:
             raise ValueError("dt must be positive")
         mesh = self.mesh
         minv = 1.0 / self.mass[:, None]
-
-        # -- explicit RK momentum predictor (sweeps_per_step assemblies) --
-        t0 = time.perf_counter()
-        u0 = self.velocity.copy()
-        u = u0
-        coeffs = _RK3_COEFFS if self.sweeps == 3 else tuple(
-            (k + 1.0) / self.sweeps for k in range(self.sweeps)
+        registry = get_registry() if self._metrics is None else self._metrics
+        step_span = self.tracer.span(
+            "step", step=self.step_count + 1, dt=float(dt)
         )
-        for c in coeffs:
-            rhs = self.assemble(mesh, u, self.params)
-            u = u0 + (c * dt) * (rhs * minv)
-            self._apply_bcs(u)
-        t_assembly = time.perf_counter() - t0
+        with step_span:
+            # -- explicit RK momentum predictor (sweeps assemblies) -------
+            with self.tracer.span("momentum", sweeps=self.sweeps):
+                t0 = time.perf_counter()
+                u0 = self.velocity.copy()
+                u = u0
+                coeffs = _RK3_COEFFS if self.sweeps == 3 else tuple(
+                    (k + 1.0) / self.sweeps for k in range(self.sweeps)
+                )
+                for c in coeffs:
+                    rhs = self.assemble(mesh, u, self.params)
+                    u = u0 + (c * dt) * (rhs * minv)
+                    self._apply_bcs(u)
+                t_assembly = time.perf_counter() - t0
 
-        # -- pressure solve ------------------------------------------------
-        t0 = time.perf_counter()
-        result = self.pressure.solve(
-            u, self.params.density, dt, x0=self.pressure_field
-        )
-        t_pressure = time.perf_counter() - t0
-        self.pressure_field = result.x
+            # -- pressure solve -------------------------------------------
+            with self.tracer.span("pressure"):
+                t0 = time.perf_counter()
+                result = self.pressure.solve(
+                    u, self.params.density, dt, x0=self.pressure_field
+                )
+                t_pressure = time.perf_counter() - t0
+                self.pressure_field = result.x
 
-        # -- projection ----------------------------------------------------
-        gradp = self.pressure.pressure_gradient(self.pressure_field)
-        u = u - (dt / self.params.density) * gradp
-        self._apply_bcs(u)
+            # -- projection -----------------------------------------------
+            with self.tracer.span("projection"):
+                gradp = self.pressure.pressure_gradient(self.pressure_field)
+                u = u - (dt / self.params.density) * gradp
+                self._apply_bcs(u)
+
+        registry.counter("fstep.steps").inc()
+        registry.counter("fstep.assemblies").inc(self.sweeps)
+        registry.histogram("fstep.pressure_iterations").record(result.iterations)
 
         self.velocity = u
         self.time += dt

@@ -15,13 +15,44 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import NULL_TRACER
+
 __all__ = ["SolveResult", "conjugate_gradient", "SolverError"]
 
 LinearOperator = Union[np.ndarray, sp.spmatrix, Callable[[np.ndarray], np.ndarray]]
 
 
 class SolverError(RuntimeError):
-    """Raised when an iterative solver fails to converge."""
+    """An iterative solver failed to converge (or broke down).
+
+    Carries the solve state at failure so telemetry and error handlers can
+    diagnose without re-running: ``iterations`` done, ``residual_norm``
+    reached, the full ``residual_history``, and the convergence ``target``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        iterations: Optional[int] = None,
+        residual_norm: Optional[float] = None,
+        residual_history: Optional[List[float]] = None,
+        target: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+        self.residual_history = list(residual_history or [])
+        self.target = target
+
+    def context(self) -> dict:
+        """Structured failure context (JSON-ready, history tail capped)."""
+        return {
+            "iterations": self.iterations,
+            "residual_norm": self.residual_norm,
+            "target": self.target,
+            "residual_history": self.residual_history[-32:],
+        }
 
 
 @dataclasses.dataclass
@@ -56,6 +87,8 @@ def conjugate_gradient(
     maxiter: int = 1000,
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     raise_on_fail: bool = False,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SolveResult:
     """Preconditioned conjugate gradients for SPD systems.
 
@@ -74,6 +107,14 @@ def conjugate_gradient(
     raise_on_fail:
         Raise :class:`SolverError` instead of returning an unconverged
         result.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when enabled the solve is
+        recorded as a ``cg_solve`` span with iteration/residual attributes.
+    metrics:
+        Registry receiving ``cg.solves``, ``cg.iterations``,
+        ``cg.failures`` counters and the ``cg.residual_norm`` /
+        ``cg.solve_iterations`` histograms; defaults to the process-wide
+        registry (:func:`repro.obs.get_registry`).
 
     Notes
     -----
@@ -81,48 +122,91 @@ def conjugate_gradient(
     handled by the caller projecting the nullspace out of ``b`` and of the
     iterates; see :mod:`repro.physics.pressure`.
     """
-    matvec = _as_operator(a)
-    b = np.asarray(b, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
-    r = b - matvec(x)
-    bnorm = float(np.linalg.norm(b))
-    target = max(tol * bnorm, atol)
-    if bnorm == 0.0:
-        return SolveResult(x * 0.0, 0, 0.0, True, [0.0])
+    tracer = NULL_TRACER if tracer is None else tracer
+    registry = get_registry() if metrics is None else metrics
 
-    z = preconditioner(r) if preconditioner is not None else r
-    p = z.copy()
-    rz = float(r @ z)
-    history = [float(np.linalg.norm(r))]
-    if history[-1] <= target:
-        return SolveResult(x, 0, history[-1], True, history)
-
-    for it in range(1, maxiter + 1):
-        ap = matvec(p)
-        pap = float(p @ ap)
-        if pap <= 0.0:
-            if raise_on_fail:
-                raise SolverError(
-                    f"CG breakdown: non-positive curvature p.Ap={pap:.3e} "
-                    f"at iteration {it} (matrix not SPD?)"
+    def record(result: Optional[SolveResult], span=None, error: str = "") -> None:
+        registry.counter("cg.solves").inc()
+        if result is not None:
+            registry.counter("cg.iterations").inc(result.iterations)
+            registry.histogram("cg.solve_iterations").record(result.iterations)
+            registry.histogram("cg.residual_norm").record(result.residual_norm)
+            if not result.converged:
+                registry.counter("cg.failures").inc()
+            if span is not None:
+                span.attributes.update(
+                    iterations=result.iterations,
+                    residual_norm=result.residual_norm,
+                    converged=result.converged,
                 )
-            return SolveResult(x, it, history[-1], False, history)
-        alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
-        rnorm = float(np.linalg.norm(r))
-        history.append(rnorm)
-        if rnorm <= target:
-            return SolveResult(x, it, rnorm, True, history)
-        z = preconditioner(r) if preconditioner is not None else r
-        rz_new = float(r @ z)
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+        else:
+            registry.counter("cg.failures").inc()
+            if span is not None:
+                span.attributes["error"] = error
 
-    if raise_on_fail:
-        raise SolverError(
-            f"CG did not converge in {maxiter} iterations "
-            f"(residual {history[-1]:.3e}, target {target:.3e})"
-        )
-    return SolveResult(x, maxiter, history[-1], False, history)
+    with tracer.span("cg_solve", n=int(np.asarray(b).shape[0])) as span:
+        matvec = _as_operator(a)
+        b = np.asarray(b, dtype=np.float64)
+        x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+        r = b - matvec(x)
+        bnorm = float(np.linalg.norm(b))
+        target = max(tol * bnorm, atol)
+        if bnorm == 0.0:
+            result = SolveResult(x * 0.0, 0, 0.0, True, [0.0])
+            record(result, span)
+            return result
+
+        z = preconditioner(r) if preconditioner is not None else r
+        p = z.copy()
+        rz = float(r @ z)
+        history = [float(np.linalg.norm(r))]
+        if history[-1] <= target:
+            result = SolveResult(x, 0, history[-1], True, history)
+            record(result, span)
+            return result
+
+        for it in range(1, maxiter + 1):
+            ap = matvec(p)
+            pap = float(p @ ap)
+            if pap <= 0.0:
+                if raise_on_fail:
+                    record(None, span, error="breakdown")
+                    raise SolverError(
+                        f"CG breakdown: non-positive curvature p.Ap={pap:.3e} "
+                        f"at iteration {it} (matrix not SPD?)",
+                        iterations=it,
+                        residual_norm=history[-1],
+                        residual_history=history,
+                        target=target,
+                    )
+                result = SolveResult(x, it, history[-1], False, history)
+                record(result, span)
+                return result
+            alpha = rz / pap
+            x += alpha * p
+            r -= alpha * ap
+            rnorm = float(np.linalg.norm(r))
+            history.append(rnorm)
+            if rnorm <= target:
+                result = SolveResult(x, it, rnorm, True, history)
+                record(result, span)
+                return result
+            z = preconditioner(r) if preconditioner is not None else r
+            rz_new = float(r @ z)
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+
+        if raise_on_fail:
+            record(None, span, error="no_convergence")
+            raise SolverError(
+                f"CG did not converge in {maxiter} iterations "
+                f"(residual {history[-1]:.3e}, target {target:.3e})",
+                iterations=maxiter,
+                residual_norm=history[-1],
+                residual_history=history,
+                target=target,
+            )
+        result = SolveResult(x, maxiter, history[-1], False, history)
+        record(result, span)
+        return result

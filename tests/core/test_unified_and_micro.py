@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core import GPU_VECTOR_DIM, CPU_VECTOR_DIM, UnifiedAssembler
-from repro.core.microbench import ROWLEN, make_listing3_kernel, run_listing3
+from repro.core.microbench import ROWLEN, run_listing3
 from repro.core.dsl import KernelContext, NumpyBackend
 from repro.core.storage import Storage
 from repro.io.report import PAPER_TABLE3
-from repro.physics import AssemblyParams
 
 
 def test_vector_dim_constants():

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.fem import box_tet_mesh
 from repro.io import (
     PAPER_TABLE1,
     PAPER_TABLE2,

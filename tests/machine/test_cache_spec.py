@@ -1,6 +1,5 @@
 """Cache simulators and machine specs."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

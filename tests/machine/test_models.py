@@ -1,13 +1,11 @@
 """GPU/CPU execution models: the paper's Table I/II shapes."""
 
-import numpy as np
 import pytest
 
 from repro.core import OptimizationStudy
 from repro.core.storage import Storage
 from repro.machine import CpuModel, GpuModel
 from repro.machine.gpu import _private_liveness_peak
-from repro.machine.roofline import RooflinePoint
 from repro.machine.traffic import cold_mesh_dram_bytes
 
 

@@ -1,0 +1,91 @@
+"""Exporters: JSONL round-trip, Chrome trace validity, bench.json schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BENCH_SCHEMA,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    read_bench_json,
+    read_spans_jsonl,
+    write_bench_json,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+@pytest.fixture()
+def traced():
+    tracer = Tracer(pid=1)
+    with tracer.span("outer", variant="RSP"):
+        with tracer.span("inner"):
+            pass
+    with tracer.span("second"):
+        pass
+    return tracer
+
+
+def test_jsonl_round_trip(traced, tmp_path):
+    path = tmp_path / "spans.jsonl"
+    n = write_spans_jsonl(traced.finished, str(path))
+    assert n == 3
+    back = sorted(read_spans_jsonl(str(path)), key=lambda s: s.start)
+    original = sorted(traced.finished, key=lambda s: s.start)
+    assert [s.to_dict() for s in back] == [s.to_dict() for s in original]
+
+
+def test_chrome_trace_events_structure(traced):
+    events = chrome_trace_events(traced.finished)
+    assert len(events) == 3
+    assert all(e["ph"] == "X" for e in events)
+    assert min(e["ts"] for e in events) == 0.0
+    by_name = {e["name"]: e for e in events}
+    outer, inner = by_name["outer"], by_name["inner"]
+    # nesting: inner fully contained in outer on the same pid/tid row
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+    assert inner["pid"] == outer["pid"] == 1
+    assert outer["args"] == {"variant": "RSP"}
+
+
+def test_chrome_trace_file_round_trip(traced, tmp_path):
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(traced.finished, str(path), metadata={"run": "test"})
+    assert n == 3
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"run": "test"}
+    assert len(doc["traceEvents"]) == 3
+    assert all(ev["dur"] >= 0 for ev in doc["traceEvents"])
+
+
+def test_chrome_trace_skips_open_spans(tmp_path):
+    tracer = Tracer()
+    handle = tracer.span("open")
+    handle.__enter__()  # never exited
+    assert chrome_trace_events(tracer.finished) == []
+
+
+def test_bench_json_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("cg.iterations").inc(42)
+    path = tmp_path / "bench.json"
+    entries = [{"variant": "RSP", "wall_ms": 1.5, "gpu_model_runtime_ms": 16.9}]
+    doc = write_bench_json(str(path), entries, metrics=reg, meta={"k": "v"})
+    assert doc["schema"] == BENCH_SCHEMA
+
+    back = read_bench_json(str(path))
+    assert back["entries"] == entries
+    assert back["metrics"]["cg.iterations"]["value"] == 42
+    assert back["meta"] == {"k": "v"}
+    assert isinstance(back["created_unix"], float)
+
+
+def test_bench_json_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/9", "entries": []}))
+    with pytest.raises(ValueError, match="schema"):
+        read_bench_json(str(path))

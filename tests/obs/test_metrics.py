@@ -1,0 +1,119 @@
+"""Metric registry: instruments, snapshots, merge (incl. across processes)."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, set_registry
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(2.5)
+    reg.gauge("g").set(7.0)
+    for v in (1.0, 2.0, 3.0):
+        reg.histogram("h").record(v)
+
+    snap = reg.snapshot()
+    assert snap["c"] == {"kind": "counter", "value": 3.5}
+    assert snap["g"] == {"kind": "gauge", "value": 7.0}
+    h = snap["h"]
+    assert h["count"] == 3 and h["sum"] == 6.0
+    assert h["min"] == 1.0 and h["max"] == 3.0 and h["mean"] == 2.0
+    assert h["samples"] == [1.0, 2.0, 3.0]
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_kind_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_same_instrument_returned():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.names() == ["a"]
+
+
+def test_merge_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("n").inc(1)
+    b.counter("n").inc(2)
+    b.gauge("g").set(9.0)
+    a.histogram("h").record(1.0)
+    b.histogram("h").record(5.0)
+
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["n"]["value"] == 3
+    assert snap["g"]["value"] == 9.0
+    assert snap["h"]["count"] == 2
+    assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 5.0
+
+
+def test_merge_from_snapshot_with_clipped_samples():
+    src = MetricsRegistry()
+    hist = src.histogram("h")
+    hist.max_samples = 2
+    for v in (1.0, 2.0, 10.0):
+        hist.record(v)
+    snap = src.snapshot()
+    assert len(snap["h"]["samples"]) == 2  # 10.0 clipped from samples
+
+    dst = MetricsRegistry()
+    dst.merge(snap)
+    merged = dst.snapshot()["h"]
+    assert merged["count"] == 3
+    assert merged["sum"] == 13.0
+    assert merged["max"] == 10.0
+
+
+def test_merge_unknown_kind_raises():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.merge({"weird": {"kind": "meter", "value": 1}})
+
+
+def _rank_metrics(rank):
+    """Worker: produce one rank's metric snapshot (fork-pool target)."""
+    reg = MetricsRegistry()
+    reg.counter("work.items").inc(rank + 1)
+    reg.histogram("work.cost").record(float(rank))
+    reg.gauge("work.last_rank").set(rank)
+    return reg.snapshot()
+
+
+def test_registry_merge_across_processes():
+    ctx = mp.get_context("fork")
+    with ctx.Pool(processes=2) as pool:
+        snapshots = pool.map(_rank_metrics, range(4))
+
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge(snap)
+    out = merged.snapshot()
+    assert out["work.items"]["value"] == 1 + 2 + 3 + 4
+    assert out["work.cost"]["count"] == 4
+    assert out["work.cost"]["min"] == 0.0 and out["work.cost"]["max"] == 3.0
+    assert out["work.last_rank"]["value"] in {0, 1, 2, 3}
+
+
+def test_default_registry_set_reset():
+    original = get_registry()
+    fresh = set_registry(MetricsRegistry())
+    try:
+        assert get_registry() is fresh
+        assert get_registry() is not original
+    finally:
+        set_registry(original)
+    assert get_registry() is original

@@ -14,7 +14,7 @@ from repro.physics import (
     element_rhs,
 )
 from repro.physics.convection import advective, divergence_form, emac, skew_symmetric
-from repro.fem import box_tet_mesh, lumped_mass
+from repro.fem import box_tet_mesh
 
 
 # -- convective forms ------------------------------------------------------------
