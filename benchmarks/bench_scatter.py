@@ -1,0 +1,129 @@
+"""Scatter-reduction benchmark: ``np.add.at`` vs the precomputed plan.
+
+The global-RHS reduction is the one assembly stage numpy punishes hardest:
+``np.add.at`` is unbuffered and runs an order of magnitude slower than the
+gather/compute stages it follows.  :class:`repro.fem.plan.ScatterPlan`
+replaces it with a precomputed ``bincount`` reduction (bit-identical) and
+an optional sort/``reduceat`` strategy (deterministic, rounding-level
+differences).  This bench times all three on a >=100k-element mesh and
+feeds the result into ``BENCH_variants.json`` via the ``bench_extra``
+fixture.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scatter.py
+"""
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fem import box_tet_mesh, get_plan  # noqa: E402
+
+#: 26^3 box -> 105,456 tets: past the acceptance floor of 100k elements.
+MESH_SHAPE = (26, 26, 26)
+REPEATS = 5
+
+
+def _best_of(fn, repeats=REPEATS):
+    walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return min(walls)
+
+
+def scatter_timings(mesh, repeats=REPEATS):
+    """Time the three reduction strategies on one momentum-sized scatter.
+
+    Returns a bench.json-style row; asserts the plan's default strategy is
+    bitwise equal to ``np.add.at`` before timing anything.
+    """
+    plan = get_plan(mesh)
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((mesh.nelem * 4, 3))
+    indices = mesh.connectivity.ravel()
+
+    def add_at():
+        out = np.zeros((mesh.nnode, 3))
+        np.add.at(out, indices, values)
+        return out
+
+    reference = add_at()
+    assert np.array_equal(reference, plan.scatter.scatter(values))
+    assert np.allclose(reference, plan.scatter.scatter(values, strategy="sort"))
+
+    t_add_at = _best_of(add_at, repeats)
+    t_bincount = _best_of(lambda: plan.scatter.scatter(values), repeats)
+    t_sort = _best_of(
+        lambda: plan.scatter.scatter(values, strategy="sort"), repeats
+    )
+    return {
+        "benchmark": "scatter",
+        "nelem": int(mesh.nelem),
+        "nnode": int(mesh.nnode),
+        "add_at_ms": t_add_at * 1e3,
+        "plan_bincount_ms": t_bincount * 1e3,
+        "plan_sort_ms": t_sort * 1e3,
+        "speedup_bincount": t_add_at / t_bincount,
+        "speedup_sort": t_add_at / t_sort,
+    }
+
+
+@pytest.fixture(scope="module")
+def scatter_mesh():
+    return box_tet_mesh(*MESH_SHAPE)
+
+
+def test_scatter_plan_beats_add_at(scatter_mesh, bench_extra, capsys):
+    """Plan scatter must be bitwise exact and meaningfully faster."""
+    row = scatter_timings(scatter_mesh)
+    bench_extra.append(row)
+    with capsys.disabled():
+        print(
+            f"\nscatter [{row['nelem']} elems]: "
+            f"add.at {row['add_at_ms']:.1f} ms, "
+            f"bincount {row['plan_bincount_ms']:.1f} ms "
+            f"({row['speedup_bincount']:.1f}x), "
+            f"sort {row['plan_sort_ms']:.1f} ms "
+            f"({row['speedup_sort']:.1f}x)"
+        )
+    # 4x measured on a quiet machine; 1.5x floor absorbs CI noise
+    assert row["speedup_bincount"] > 1.5
+
+
+def test_scatter_plan_bitwise_small_meshes(bench_extra):
+    """Exactness holds across mesh sizes (duplicate-heavy small boxes)."""
+    for shape in ((3, 3, 3), (6, 5, 4)):
+        mesh = box_tet_mesh(*shape)
+        plan = get_plan(mesh)
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal((mesh.nelem * 4, 3))
+        ref = np.zeros((mesh.nnode, 3))
+        np.add.at(ref, mesh.connectivity.ravel(), values)
+        assert np.array_equal(ref, plan.scatter.scatter(values))
+
+
+def main() -> None:
+    mesh = box_tet_mesh(*MESH_SHAPE)
+    row = scatter_timings(mesh)
+    print(f"scatter reduction on {row['nelem']} elements ({row['nnode']} nodes):")
+    print(f"  np.add.at       {row['add_at_ms']:8.2f} ms")
+    print(
+        f"  plan bincount   {row['plan_bincount_ms']:8.2f} ms  "
+        f"({row['speedup_bincount']:.1f}x, bit-identical)"
+    )
+    print(
+        f"  plan sort       {row['plan_sort_ms']:8.2f} ms  "
+        f"({row['speedup_sort']:.1f}x, deterministic)"
+    )
+
+
+if __name__ == "__main__":
+    main()

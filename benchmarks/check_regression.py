@@ -15,7 +15,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         [--bench BENCH_variants.json] [--baseline benchmarks/bench_baseline.json] \
-        [--threshold 0.20] [--strict]
+        [--threshold 0.20] [--strict] [--write-diff bench_regression.txt]
 """
 
 from __future__ import annotations
@@ -66,38 +66,60 @@ def main(argv=None) -> int:
         action="store_true",
         help="exit 1 on wall-clock regressions instead of warning",
     )
+    ap.add_argument(
+        "--write-diff",
+        metavar="PATH",
+        help="also write the comparison report to PATH (for CI artifacts)",
+    )
     args = ap.parse_args(argv)
+
+    report: list[str] = []
+
+    def emit(line: str) -> None:
+        print(line)
+        report.append(line)
+
+    def flush_report() -> None:
+        if args.write_diff:
+            pathlib.Path(args.write_diff).write_text(
+                "\n".join(report) + "\n", encoding="utf-8"
+            )
 
     try:
         bench = read_bench_json(args.bench)
     except (OSError, ValueError) as exc:
-        print(f"check_regression: no fresh bench results ({exc}); skipping")
+        emit(f"check_regression: no fresh bench results ({exc}); skipping")
+        flush_report()
         return 0
     try:
         baseline = read_bench_json(args.baseline)
     except (OSError, ValueError) as exc:
-        print(f"check_regression: no baseline ({exc}); skipping")
+        emit(f"check_regression: no baseline ({exc}); skipping")
+        flush_report()
         return 0
 
     regressions = compare(bench, baseline, args.threshold)
     if not regressions:
-        print(
+        emit(
             f"check_regression: OK -- no >{args.threshold:.0%} regressions "
             f"across {len(_by_variant(bench))} variants"
         )
+        flush_report()
         return 0
 
-    print(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
+    emit(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
     wall_regressed = False
     for variant, field, old, new, ratio in regressions:
-        print(
+        emit(
             f"  {variant:>5s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
             f"({ratio - 1.0:+.0%})"
         )
         wall_regressed |= field == "wall_ms"
     if args.strict and wall_regressed:
+        flush_report()
         return 1
-    print("check_regression: non-fatal (pass --strict to enforce)")
+    emit("check_regression: non-fatal (pass --strict to enforce)")
+    flush_report()
     return 0
 
 

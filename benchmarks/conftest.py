@@ -47,11 +47,22 @@ def study(bench_tracer, bench_registry):
     return OptimizationStudy(tracer=bench_tracer, metrics=bench_registry)
 
 
+@pytest.fixture(scope="session")
+def bench_extra():
+    """Extra bench.json rows contributed by individual benches.
+
+    Non-variant benchmarks (e.g. ``bench_scatter.py``) append dict rows
+    here; they are merged after the per-variant entries in
+    ``BENCH_variants.json`` at session exit.
+    """
+    return []
+
+
 @pytest.fixture(scope="session", autouse=True)
-def bench_artifacts(study, bench_tracer, bench_registry):
+def bench_artifacts(study, bench_tracer, bench_registry, bench_extra):
     """Emit the BENCH_* perf artifacts when the bench session ends."""
     yield
-    entries = study.bench_summary()
+    entries = study.bench_summary() + list(bench_extra)
     outdir = os.environ.get("REPRO_BENCH_DIR", str(_REPO_ROOT))
     paths = write_bench_artifacts(
         outdir,

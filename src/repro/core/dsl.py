@@ -136,6 +136,12 @@ class KernelContext:
     nnode_per_element:
         Local nodes per element (4 for TET04; runtime-variable for the
         generic baseline).
+    scatter:
+        Optional :class:`repro.fem.plan.ScatterAccumulator`.  When set,
+        the numpy backend defers every ``scatter_add_rhs`` into it (one
+        ``bincount`` reduction per assembly, bit-identical to the
+        per-call ``np.add.at`` path); when ``None`` the backend scatters
+        immediately with ``np.add.at``.
     """
 
     connectivity: np.ndarray
@@ -145,6 +151,7 @@ class KernelContext:
     params: Dict[str, float]
     nnode_per_element: int = 4
     active: Optional[np.ndarray] = None
+    scatter: Optional[object] = None
 
     @property
     def nlane(self) -> int:
@@ -300,6 +307,9 @@ class NumpyBackend(Backend):
         return Value(self, data[nodes, component])
 
     def scatter_add_rhs(self, node_slot: int, component: int, value: Value) -> None:
+        if self.ctx.scatter is not None:
+            self.ctx.scatter.add(node_slot, component, value.payload)
+            return
         nodes = self.ctx.connectivity[:, node_slot]
         vals = np.broadcast_to(value.payload, nodes.shape)
         if self.ctx.active is not None:

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..fem.mesh import TetMesh
 from ..fem.packing import ElementPacking
+from ..fem.plan import get_plan
 from ..obs.spans import NULL_TRACER
 from ..physics.momentum import AssemblyParams
 from ..physics.convection import ConvectiveForm
@@ -105,19 +106,45 @@ class UnifiedAssembler:
         Optional :class:`repro.obs.Tracer`; assemblies and kernel traces
         are recorded as ``assemble`` / ``kernel_trace`` spans.  Defaults to
         the no-op tracer (zero overhead).
+    permutation:
+        Optional element processing order handed to the packing.
+    use_plan:
+        When true (default) the assembler reuses the mesh's
+        :class:`~repro.fem.plan.AssemblyPlan`: element groups are
+        gathered once per mesh lifetime and the RHS scatter is deferred
+        into a single precomputed ``bincount`` reduction.  Disable to run
+        the seed per-call ``np.add.at`` path (bit-identical results; the
+        equivalence tests rely on this switch).
     """
 
     mesh: TetMesh
     params: AssemblyParams = dataclasses.field(default_factory=AssemblyParams)
     vector_dim: int = CPU_VECTOR_DIM
     tracer: object = dataclasses.field(default=NULL_TRACER, repr=False)
+    permutation: Optional[np.ndarray] = dataclasses.field(default=None, repr=False)
+    use_plan: bool = True
 
     def __post_init__(self) -> None:
-        self.packing = ElementPacking(self.mesh, vector_dim=self.vector_dim)
+        if self.use_plan:
+            self.plan = get_plan(self.mesh)
+            self.packing = self.plan.packing(
+                self.vector_dim, permutation=self.permutation
+            )
+        else:
+            self.plan = None
+            self.packing = ElementPacking(
+                self.mesh,
+                vector_dim=self.vector_dim,
+                permutation=self.permutation,
+            )
         self._kernel_params = self.params.as_kernel_params()
+        perm = self.permutation
+        self._perm_key = None if perm is None else np.asarray(
+            perm, dtype=np.int64
+        ).tobytes()
 
     def _context(
-        self, group, velocity: np.ndarray, rhs: np.ndarray
+        self, group, velocity: np.ndarray, rhs: np.ndarray, scatter=None
     ) -> KernelContext:
         return KernelContext(
             connectivity=group.connectivity,
@@ -127,6 +154,7 @@ class UnifiedAssembler:
             params=self._kernel_params,
             nnode_per_element=4,
             active=None if group.nactive == group.vector_dim else group.active,
+            scatter=scatter,
         )
 
     def assemble(
@@ -146,11 +174,22 @@ class UnifiedAssembler:
             variant=variant.name,
             nelem=int(self.mesh.nelem),
             vector_dim=int(self.vector_dim),
+            plan=bool(self.use_plan),
         ):
+            acc = None
+            if self.plan is not None:
+                acc = self.plan.accumulator(
+                    key=(variant.name, int(self.vector_dim), self._perm_key)
+                )
             for group in self.packing:
-                ctx = self._context(group, velocity, rhs)
+                if acc is not None:
+                    acc.begin_group(group)
+                ctx = self._context(group, velocity, rhs, scatter=acc)
                 bk = NumpyBackend(ctx)
                 variant.kernel(bk, ctx)
+            if acc is not None:
+                with self.tracer.span("scatter.flush", variant=variant.name):
+                    acc.finalize(rhs)
         return rhs
 
     def trace(

@@ -13,6 +13,14 @@ from .geometry import (
     tet4_gradients,
 )
 from .packing import ElementGroup, ElementPacking, scatter_add
+from .plan import (
+    AssemblyPlan,
+    GeometryCache,
+    ScatterAccumulator,
+    ScatterPlan,
+    get_plan,
+    segment_scatter,
+)
 from .boundary import BoundaryRegion, DirichletBC, BoundaryClassifier, classify_box_boundaries
 from .fields import NodalField, ElementField, lumped_mass
 
@@ -42,6 +50,12 @@ __all__ = [
     "ElementGroup",
     "ElementPacking",
     "scatter_add",
+    "AssemblyPlan",
+    "GeometryCache",
+    "ScatterAccumulator",
+    "ScatterPlan",
+    "get_plan",
+    "segment_scatter",
     "BoundaryRegion",
     "DirichletBC",
     "BoundaryClassifier",

@@ -124,17 +124,17 @@ class ElementField(_FieldBase):
 
     def to_nodal(self) -> NodalField:
         """Volume-weighted projection to nodes (for output/diagnostics)."""
+        from .plan import get_plan
+
         mesh = self.mesh
-        vols = mesh.element_volumes()
-        wsum = np.zeros(mesh.nnode)
+        plan = get_plan(mesh)
+        vols = plan.element_volumes()
         if self.data.ndim == 1:
-            acc = np.zeros(mesh.nnode)
             contrib = (self.data * vols)[:, None].repeat(4, axis=1)
         else:
-            acc = np.zeros((mesh.nnode, self.data.shape[1]))
             contrib = (self.data * vols[:, None])[:, None, :].repeat(4, axis=1)
-        np.add.at(acc, mesh.connectivity.ravel(), contrib.reshape(-1, *contrib.shape[2:]))
-        np.add.at(wsum, mesh.connectivity.ravel(), np.repeat(vols, 4))
+        acc = plan.scatter.scatter(contrib.reshape(-1, *contrib.shape[2:]))
+        wsum = plan.scatter.scatter(np.repeat(vols, 4))
         wsum = np.maximum(wsum, 1e-300)
         data = acc / (wsum if acc.ndim == 1 else wsum[:, None])
         out = NodalField(mesh, ncomp=1 if data.ndim == 1 else data.shape[1])
@@ -149,8 +149,10 @@ def lumped_mass(mesh: TetMesh) -> np.ndarray:
     For P1 tets the consistent-mass row sum assigns each node a quarter of
     the volume of each adjacent element.  The lumped mass is what the
     explicit fractional-step update divides by.
+
+    Cached per mesh on the :class:`~repro.fem.plan.AssemblyPlan`; a copy
+    is returned so callers keep the historical mutable-array contract.
     """
-    vols = mesh.element_volumes()
-    mass = np.zeros(mesh.nnode)
-    np.add.at(mass, mesh.connectivity.ravel(), np.repeat(vols / 4.0, 4))
-    return mass
+    from .plan import get_plan
+
+    return get_plan(mesh).lumped_mass().copy()

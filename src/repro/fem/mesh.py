@@ -97,6 +97,9 @@ class TetMesh:
                 f"connectivity must be (nelem, 4), got {self.connectivity.shape}"
             )
         self._node_to_elem: Dict[int, np.ndarray] | None = None
+        # Structural version: bumped whenever connectivity changes in
+        # place, so mesh-lifetime caches (repro.fem.plan) can invalidate.
+        self._version = 0
         if validate:
             self.validate()
 
@@ -167,6 +170,7 @@ class TetMesh:
                 conn[bad, 1].copy(),
             )
             self._node_to_elem = None
+            self._version += 1
         return nbad
 
     # ------------------------------------------------------------------

@@ -90,6 +90,7 @@ class ElementPacking:
         mesh: TetMesh,
         vector_dim: int = 16,
         permutation: np.ndarray | None = None,
+        cache: bool = False,
     ) -> None:
         if vector_dim < 1:
             raise ValueError("vector_dim must be >= 1")
@@ -104,6 +105,14 @@ class ElementPacking:
             ):
                 raise ValueError("permutation must be a bijection on elements")
             self._order = perm
+        # One shared all-true mask serves every full group; the padded
+        # final group (if any) is always memoized -- rebuilding it per
+        # assemble was pure waste.  With ``cache=True`` every group's
+        # gathered connectivity/coords are kept for the mesh's lifetime.
+        self._active_full = np.ones(self.vector_dim, dtype=bool)
+        self._active_full.flags.writeable = False
+        self._final_group: ElementGroup | None = None
+        self._cache: dict[int, ElementGroup] | None = {} if cache else None
 
     @property
     def ngroups(self) -> int:
@@ -117,27 +126,42 @@ class ElementPacking:
         return 0 if rem == 0 else self.vector_dim - rem
 
     def group(self, index: int) -> ElementGroup:
-        """Build the ``index``-th element group."""
+        """Build (or fetch the memoized) ``index``-th element group."""
         if not 0 <= index < self.ngroups:
             raise IndexError(
                 f"group index {index} out of range [0, {self.ngroups})"
             )
+        if self._cache is not None:
+            cached = self._cache.get(index)
+            if cached is not None:
+                return cached
         start = index * self.vector_dim
         stop = min(start + self.vector_dim, self.mesh.nelem)
-        ids = self._order[start:stop]
-        active = np.ones(self.vector_dim, dtype=bool)
         if stop - start < self.vector_dim:
+            if self._final_group is not None:
+                return self._final_group
+            ids = self._order[start:stop]
             pad = self.vector_dim - (stop - start)
             ids = np.concatenate([ids, np.repeat(ids[-1:], pad)])
+            active = np.ones(self.vector_dim, dtype=bool)
             active[stop - start:] = False
+            active.flags.writeable = False
+        else:
+            ids = self._order[start:stop]
+            active = self._active_full
         conn = self.mesh.connectivity[ids]
-        return ElementGroup(
+        group = ElementGroup(
             index=index,
             element_ids=ids,
             connectivity=conn,
             coords=self.mesh.coords[conn],
             active=active,
         )
+        if stop - start < self.vector_dim:
+            self._final_group = group
+        if self._cache is not None:
+            self._cache[index] = group
+        return group
 
     def __iter__(self) -> Iterator[ElementGroup]:
         for i in range(self.ngroups):
@@ -161,7 +185,11 @@ def scatter_add(
     This is the reduction step that the CPU path keeps in "a separate,
     unvectorized loop ... to avoid lost updates": different lanes of a group
     may share mesh nodes, so a plain fancy-index ``+=`` would silently drop
-    updates.  ``np.add.at`` performs the unbuffered (correct) reduction.
+    updates.  The reduction runs through
+    :func:`repro.fem.plan.segment_scatter` (``np.bincount``), which keeps
+    the unbuffered sequential-in-input-order semantics of ``np.add.at``
+    (bit-for-bit when accumulating into a zero array) while being roughly
+    an order of magnitude faster.
 
     Parameters
     ----------
@@ -185,4 +213,10 @@ def scatter_add(
     else:
         conn = group.connectivity[group.active]
         vals = elemental[group.active]
-    np.add.at(global_rhs, conn.ravel(), vals.reshape(-1, *vals.shape[2:]))
+    from .plan import segment_scatter  # runtime import: plan imports packing
+
+    global_rhs += segment_scatter(
+        conn.ravel(),
+        vals.reshape(-1, *vals.shape[2:]),
+        global_rhs.shape[0],
+    )

@@ -1,0 +1,428 @@
+"""Mesh-lifetime assembly plans: precomputed scatter, cached packing/geometry.
+
+The paper's R/RSPR transformations are about shrinking intermediate
+lifetime and scattering elemental RHS entries straight into the global
+RHS.  The Python substrate pays the opposite cost when left naive: every
+assembly re-gathers coordinates, re-derives the (time-invariant) P1
+geometry and reduces through ``np.add.at`` -- one of numpy's slowest
+primitives.  This module hoists all of that mesh-lifetime setup out of
+the hot loop:
+
+* :class:`ScatterPlan` -- a precomputed reduction plan over a fixed index
+  pattern (the raveled connectivity).  The default ``"bincount"``
+  strategy is **bit-identical** to ``np.add.at`` into a zero array
+  (both accumulate sequentially in input order), while running an order
+  of magnitude faster.  The ``"sort"`` strategy (stable argsort +
+  ``np.add.reduceat`` segment reduction) is deterministic and fastest
+  for repeated many-component scatters, but uses pairwise summation
+  inside segments, so it reproduces ``np.add.at`` only to rounding.
+* :class:`GeometryCache` -- Jacobians, Cartesian shape gradients and
+  volumes of the P1 mesh, computed once and shared by the momentum
+  assembly, the pressure-Poisson assembly and the divergence
+  diagnostics.
+* :class:`ScatterAccumulator` -- the deferred scatter used by the DSL
+  execution backend: every ``scatter_add_rhs`` call appends its lane
+  values to a buffer whose *index pattern* is computed once per
+  (mesh, vector_dim, variant) and cached; the final reduction is a
+  single ``bincount`` in the exact temporal order the per-call
+  ``np.add.at`` path would have used -- hence bit-identical results.
+* :class:`AssemblyPlan` / :func:`get_plan` -- the per-mesh cache tying
+  it together (weakly keyed, invalidated when the mesh is reoriented).
+
+Telemetry flows through :mod:`repro.obs`: plan construction records a
+``plan.build`` span, and the ``plan.*`` / ``scatter.*`` counters track
+cache hits, strategy use and reduced value counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from ..obs.spans import get_tracer
+from .geometry import tet4_gradients
+from .mesh import TetMesh
+from .packing import ElementGroup, ElementPacking
+
+__all__ = [
+    "segment_scatter",
+    "ScatterPlan",
+    "GeometryCache",
+    "ScatterAccumulator",
+    "AssemblyPlan",
+    "get_plan",
+]
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    arr.flags.writeable = False
+    return arr
+
+
+def segment_scatter(
+    indices: np.ndarray, values: np.ndarray, nbins: int
+) -> np.ndarray:
+    """Sum ``values`` into ``nbins`` bins, bit-identical to ``np.add.at``.
+
+    ``np.bincount`` accumulates weights sequentially in input order --
+    exactly the unbuffered semantics of ``np.add.at`` on a zero target --
+    so for any duplicate pattern the result matches the naive scatter to
+    the last bit, at a fraction of the cost.
+
+    Parameters
+    ----------
+    indices:
+        ``(n,)`` non-negative bin ids.
+    values:
+        ``(n,)`` or ``(n, ncomp)`` contributions.
+    nbins:
+        Size of the output's leading dimension.
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values, dtype=np.float64)
+    registry = get_registry()
+    registry.counter("scatter.bincount_calls").inc()
+    registry.counter("scatter.values_reduced").inc(values.size)
+    if values.ndim == 1:
+        return np.bincount(indices, weights=values, minlength=nbins)[:nbins]
+    out = np.empty((nbins, values.shape[1]), dtype=np.float64)
+    for c in range(values.shape[1]):
+        out[:, c] = np.bincount(
+            indices, weights=values[:, c], minlength=nbins
+        )[:nbins]
+    return out
+
+
+class ScatterPlan:
+    """Precomputed reduction plan for a fixed scatter-index pattern.
+
+    Parameters
+    ----------
+    indices:
+        ``(n,)`` target bin of each contribution (e.g. the raveled element
+        connectivity).  Copied and frozen.
+    nbins:
+        Number of output bins (e.g. ``nnode``).
+    """
+
+    def __init__(self, indices: np.ndarray, nbins: int) -> None:
+        self.indices = _readonly(
+            np.ascontiguousarray(indices, dtype=np.int64).copy()
+        )
+        if self.indices.size and self.indices.min() < 0:
+            raise ValueError("scatter indices must be non-negative")
+        self.nbins = int(nbins)
+        # sort-strategy artifacts, built on first use
+        self._order: Optional[np.ndarray] = None
+        self._starts: Optional[np.ndarray] = None
+        self._bins: Optional[np.ndarray] = None
+
+    @property
+    def nvalues(self) -> int:
+        return self.indices.shape[0]
+
+    def _build_sort(self) -> None:
+        order = np.argsort(self.indices, kind="stable")
+        sorted_idx = self.indices[order]
+        if sorted_idx.size:
+            new = np.ones(sorted_idx.size, dtype=bool)
+            new[1:] = sorted_idx[1:] != sorted_idx[:-1]
+            starts = np.flatnonzero(new)
+            bins = sorted_idx[starts]
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+            bins = np.zeros(0, dtype=np.int64)
+        self._order = _readonly(order)
+        self._starts = _readonly(starts)
+        self._bins = _readonly(bins)
+        get_registry().counter("scatter.sort_plan_builds").inc()
+
+    def scatter(self, values: np.ndarray, strategy: str = "bincount") -> np.ndarray:
+        """Reduce ``values`` (aligned with ``indices``) into the bins.
+
+        ``strategy="bincount"`` (default) is bit-identical to the
+        ``np.add.at`` reduction the seed code used.  ``strategy="sort"``
+        uses the precomputed stable argsort and ``np.add.reduceat``; it is
+        deterministic but sums segments pairwise, so it matches only to
+        rounding.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.nvalues:
+            raise ValueError(
+                f"values leading dim {values.shape[0]} != plan size "
+                f"{self.nvalues}"
+            )
+        if strategy == "bincount":
+            return segment_scatter(self.indices, values, self.nbins)
+        if strategy != "sort":
+            raise ValueError(f"unknown scatter strategy {strategy!r}")
+        if self._order is None:
+            self._build_sort()
+        registry = get_registry()
+        registry.counter("scatter.sort_calls").inc()
+        registry.counter("scatter.values_reduced").inc(values.size)
+        shape = (self.nbins,) + values.shape[1:]
+        out = np.zeros(shape, dtype=np.float64)
+        if self.nvalues:
+            seg = np.add.reduceat(values[self._order], self._starts, axis=0)
+            out[self._bins] = seg
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class GeometryCache:
+    """Time-invariant P1 geometry of a whole mesh.
+
+    Attributes
+    ----------
+    gradients:
+        ``(nelem, 4, 3)`` constant Cartesian shape gradients.
+    dets:
+        ``(nelem,)`` Jacobian determinants (``6 * volume``).
+    volumes:
+        ``(nelem,)`` element volumes (``dets / 6``).
+    """
+
+    gradients: np.ndarray
+    dets: np.ndarray
+    volumes: np.ndarray
+
+
+@dataclasses.dataclass(frozen=True)
+class _ScatterPattern:
+    """Cached index pattern of one full DSL assembly sweep."""
+
+    indices: np.ndarray  # (total,) flattened (node*ncomp + comp) + trash bin
+    signature: Tuple[Tuple[int, int, int], ...]  # (group, slot, comp) per call
+    length: int
+
+
+class ScatterAccumulator:
+    """Deferred global-RHS scatter for the DSL execution backend.
+
+    The seed path issued one ``np.add.at`` per (node slot, component) per
+    element group -- ``12 * ngroups`` unbuffered scatters per assembly.
+    The accumulator instead buffers every call's lane values in temporal
+    order and reduces **once** with a single ``bincount`` over the
+    flattened ``(node, component)`` bins.  Because ``bincount`` sums
+    sequentially in buffer order -- the same order the per-call
+    ``np.add.at`` would have applied -- the result is bit-identical.
+
+    Padding lanes are routed to a trash bin (one extra slot past the real
+    bins) so no runtime masking is needed.  The index pattern of a full
+    sweep depends only on (mesh, packing, kernel call order), so it is
+    built during the first assembly and cached on the owning
+    :class:`AssemblyPlan` for every later timestep.
+    """
+
+    def __init__(
+        self,
+        plan: "AssemblyPlan",
+        key: Tuple,
+        nnode: int,
+        ncomp: int = 3,
+    ) -> None:
+        self._plan = plan
+        self._key = key
+        self._nnode = int(nnode)
+        self._ncomp = int(ncomp)
+        self._trash = self._nnode * self._ncomp
+        self._group: Optional[ElementGroup] = None
+        self._signature: list = []
+        self._pattern: Optional[_ScatterPattern] = plan._patterns.get(key)
+        if self._pattern is None:
+            self._idx_chunks: list = []
+            self._val_chunks: list = []
+        else:
+            self._values = np.empty(self._pattern.length, dtype=np.float64)
+        self._pos = 0
+
+    def begin_group(self, group: ElementGroup) -> None:
+        """Declare the element group subsequent :meth:`add` calls belong to."""
+        self._group = group
+
+    def add(self, node_slot: int, component: int, payload) -> None:
+        """Record one lane-wide scatter call (values in lane order)."""
+        group = self._group
+        if group is None:
+            raise RuntimeError("ScatterAccumulator.add before begin_group")
+        vals = np.broadcast_to(payload, (group.vector_dim,))
+        self._signature.append((group.index, node_slot, component))
+        if self._pattern is None:
+            idx = group.connectivity[:, node_slot] * self._ncomp + component
+            if group.nactive != group.vector_dim:
+                idx = np.where(group.active, idx, self._trash)
+            self._idx_chunks.append(np.ascontiguousarray(idx, dtype=np.int64))
+            self._val_chunks.append(np.array(vals, dtype=np.float64))
+            self._pos += vals.shape[0]
+        else:
+            n = vals.shape[0]
+            if self._pos + n > self._pattern.length:
+                raise RuntimeError(
+                    "scatter pattern mismatch: kernel issued more scatter "
+                    "values than the cached plan"
+                )
+            self._values[self._pos:self._pos + n] = vals
+            self._pos += n
+
+    def finalize(self, rhs: np.ndarray) -> None:
+        """Reduce the buffered contributions into ``rhs`` (``(nnode, ncomp)``)."""
+        registry = get_registry()
+        if self._pattern is None:
+            if self._idx_chunks:
+                indices = np.concatenate(self._idx_chunks)
+                values = np.concatenate(self._val_chunks)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+                values = np.zeros(0, dtype=np.float64)
+            pattern = _ScatterPattern(
+                indices=_readonly(indices),
+                signature=tuple(self._signature),
+                length=int(indices.shape[0]),
+            )
+            self._plan._patterns[self._key] = pattern
+            registry.counter("scatter.pattern_builds").inc()
+        else:
+            pattern = self._pattern
+            if self._pos != pattern.length or (
+                tuple(self._signature) != pattern.signature
+            ):
+                raise RuntimeError(
+                    "scatter pattern mismatch: kernel call order changed "
+                    "between assemblies of the same plan key"
+                )
+            values = self._values
+            registry.counter("scatter.pattern_reuses").inc()
+        registry.counter("scatter.bincount_calls").inc()
+        registry.counter("scatter.values_reduced").inc(values.size)
+        out = np.bincount(
+            pattern.indices, weights=values, minlength=self._trash + 1
+        )
+        rhs += out[: self._trash].reshape(self._nnode, self._ncomp)
+
+
+class AssemblyPlan:
+    """Everything about a mesh the assembly can precompute once.
+
+    Instances are created through :func:`get_plan`, which caches one plan
+    per live mesh (weakly referenced; reorienting the mesh with
+    :meth:`~repro.fem.mesh.TetMesh.fix_orientation` invalidates it).
+    """
+
+    def __init__(self, mesh: TetMesh) -> None:
+        with get_tracer().span(
+            "plan.build", nnode=int(mesh.nnode), nelem=int(mesh.nelem)
+        ):
+            self.mesh = mesh
+            #: mesh-level scatter plan over the raveled connectivity
+            self.scatter = ScatterPlan(mesh.connectivity.ravel(), mesh.nnode)
+        self._geometry: Optional[GeometryCache] = None
+        self._element_volumes: Optional[np.ndarray] = None
+        self._lumped_mass: Optional[np.ndarray] = None
+        self._packed_coords: Optional[np.ndarray] = None
+        self._packings: Dict[Tuple, ElementPacking] = {}
+        self._patterns: Dict[Tuple, _ScatterPattern] = {}
+        get_registry().counter("plan.builds").inc()
+
+    # -- cached geometry -------------------------------------------------
+    def geometry(self) -> GeometryCache:
+        """Cached P1 gradients / Jacobian dets / volumes of the mesh."""
+        if self._geometry is None:
+            with get_tracer().span("plan.geometry", nelem=int(self.mesh.nelem)):
+                grads, dets = tet4_gradients(self.packed_coords())
+                self._geometry = GeometryCache(
+                    gradients=_readonly(grads),
+                    dets=_readonly(dets),
+                    volumes=_readonly(dets / 6.0),
+                )
+            get_registry().counter("plan.geometry_builds").inc()
+        return self._geometry
+
+    def element_volumes(self) -> np.ndarray:
+        """Cached signed element volumes.
+
+        Same triple-product formula as
+        :meth:`~repro.fem.mesh.TetMesh.element_volumes` (which differs
+        from :attr:`GeometryCache.volumes` -- the determinant route -- in
+        the last ulp), so callers that historically used the mesh helper
+        keep bit-identical values.
+        """
+        if self._element_volumes is None:
+            self._element_volumes = _readonly(self.mesh.element_volumes())
+        return self._element_volumes
+
+    def lumped_mass(self) -> np.ndarray:
+        """Cached lumped-mass diagonal, bit-identical to the seed
+        ``np.add.at`` version in :func:`repro.fem.fields.lumped_mass`."""
+        if self._lumped_mass is None:
+            vols = self.element_volumes()
+            self._lumped_mass = _readonly(
+                self.scatter.scatter(np.repeat(vols / 4.0, 4))
+            )
+        return self._lumped_mass
+
+    def packed_coords(self) -> np.ndarray:
+        """Cached ``(nelem, 4, 3)`` gathered element node coordinates."""
+        if self._packed_coords is None:
+            self._packed_coords = _readonly(self.mesh.element_coords())
+        return self._packed_coords
+
+    # -- cached packing ----------------------------------------------------
+    def packing(
+        self,
+        vector_dim: int,
+        permutation: Optional[np.ndarray] = None,
+    ) -> ElementPacking:
+        """Cached, group-memoizing :class:`ElementPacking` for this mesh."""
+        perm_key = None if permutation is None else np.asarray(
+            permutation, dtype=np.int64
+        ).tobytes()
+        key = (int(vector_dim), perm_key)
+        packing = self._packings.get(key)
+        if packing is None:
+            packing = ElementPacking(
+                self.mesh,
+                vector_dim=vector_dim,
+                permutation=permutation,
+                cache=True,
+            )
+            self._packings[key] = packing
+            get_registry().counter("plan.packing_builds").inc()
+        return packing
+
+    # -- deferred DSL scatter ---------------------------------------------
+    def accumulator(self, key: Tuple, ncomp: int = 3) -> ScatterAccumulator:
+        """New deferred-scatter accumulator for one assembly sweep.
+
+        ``key`` identifies the sweep's index pattern (variant name,
+        vector_dim, permutation); the pattern is cached after the first
+        sweep with that key.
+        """
+        return ScatterAccumulator(self, key, self.mesh.nnode, ncomp=ncomp)
+
+
+# -- per-mesh plan cache ------------------------------------------------------
+
+_PLANS: "weakref.WeakKeyDictionary[TetMesh, Tuple[int, AssemblyPlan]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_plan(mesh: TetMesh) -> AssemblyPlan:
+    """The (cached) :class:`AssemblyPlan` of ``mesh``.
+
+    Plans are weakly keyed on the mesh object and invalidated when the
+    mesh's structural version changes (``fix_orientation``).
+    """
+    version = getattr(mesh, "_version", 0)
+    entry = _PLANS.get(mesh)
+    if entry is not None and entry[0] == version:
+        get_registry().counter("plan.cache_hits").inc()
+        return entry[1]
+    plan = AssemblyPlan(mesh)
+    _PLANS[mesh] = (version, plan)
+    return plan

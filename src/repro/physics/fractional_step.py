@@ -26,8 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..fem.boundary import DirichletBC
-from ..fem.fields import lumped_mass
 from ..fem.mesh import TetMesh
+from ..fem.plan import get_plan
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import NULL_TRACER
 from .momentum import AssemblyParams, assemble_momentum_rhs
@@ -43,7 +43,7 @@ def cfl_time_step(
     mesh: TetMesh, velocity: np.ndarray, cfl: float = 0.5, floor: float = 1e-12
 ) -> float:
     """CFL-limited time step ``dt = cfl * min(h / |u|)`` with ``h = V^(1/3)``."""
-    h = np.cbrt(np.abs(mesh.element_volumes()))
+    h = np.cbrt(np.abs(get_plan(mesh).element_volumes()))
     umag = np.linalg.norm(velocity, axis=1)
     umax = float(umag.max()) if umag.size else 0.0
     if umax <= floor:
@@ -113,7 +113,8 @@ class FractionalStepSolver:
         self.assemble = assemble or assemble_momentum_rhs
         self.pressure = pressure_solver or PressureSolver(mesh)
         self.sweeps = int(sweeps_per_step)
-        self.mass = lumped_mass(mesh)
+        self._plan = get_plan(mesh)
+        self.mass = self._plan.lumped_mass()
         self.velocity = np.zeros((mesh.nnode, 3))
         self.pressure_field = np.zeros(mesh.nnode)
         self.time = 0.0
@@ -137,10 +138,8 @@ class FractionalStepSolver:
     # ------------------------------------------------------------------
     def max_divergence(self, velocity: Optional[np.ndarray] = None) -> float:
         """Max |div u| over elements (projection-quality diagnostic)."""
-        from ..fem.geometry import tet4_gradients
-
         u = self.velocity if velocity is None else velocity
-        grads, _ = tet4_gradients(self.mesh.element_coords())
+        grads = self._plan.geometry().gradients
         div = np.einsum("eai,eai->e", grads, u[self.mesh.connectivity])
         return float(np.abs(div).max()) if div.size else 0.0
 

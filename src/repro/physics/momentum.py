@@ -73,7 +73,10 @@ class AssemblyParams:
 
 
 def element_rhs(
-    xel: np.ndarray, uel: np.ndarray, params: AssemblyParams
+    xel: np.ndarray,
+    uel: np.ndarray,
+    params: AssemblyParams,
+    geometry=None,
 ) -> np.ndarray:
     """Elemental momentum RHS for a batch of tetrahedra.
 
@@ -85,6 +88,10 @@ def element_rhs(
         ``(nelem, 4, 3)`` node velocities.
     params:
         Assembly parameters.
+    geometry:
+        Optional precomputed :class:`~repro.fem.plan.GeometryCache` for
+        exactly these elements; when given, the (time-invariant) P1
+        gradients and Jacobians are not re-derived.
 
     Returns
     -------
@@ -95,7 +102,10 @@ def element_rhs(
     rule = rule_for("TET04", 4)
     shapes, _ = TET04.evaluate(rule.points)  # (4 nodes, 4 gauss)
 
-    grads, dets = tet4_gradients(xel)  # (nelem, 4, 3), (nelem,)
+    if geometry is None:
+        grads, dets = tet4_gradients(xel)  # (nelem, 4, 3), (nelem,)
+    else:
+        grads, dets = geometry.gradients, geometry.dets
     vol = dets / 6.0
 
     # velocity gradient g[e, i, j] = sum_a grads[e, a, j] u[e, a, i]
@@ -134,16 +144,23 @@ def element_rhs(
 def assemble_momentum_rhs(
     mesh: TetMesh, velocity: np.ndarray, params: AssemblyParams
 ) -> np.ndarray:
-    """Assemble the global momentum RHS ``(nnode, 3)``."""
+    """Assemble the global momentum RHS ``(nnode, 3)``.
+
+    Uses the mesh's :class:`~repro.fem.plan.AssemblyPlan`: packed
+    coordinates and P1 geometry are computed once per mesh lifetime, and
+    the scatter runs through the precomputed ``bincount`` plan --
+    bit-identical to the seed ``np.add.at`` reduction.
+    """
+    from ..fem.plan import get_plan
+
     velocity = np.asarray(velocity, dtype=np.float64)
     if velocity.shape != (mesh.nnode, 3):
         raise ValueError(
             f"velocity must be (nnode, 3) = ({mesh.nnode}, 3), "
             f"got {velocity.shape}"
         )
-    xel = mesh.element_coords()
+    plan = get_plan(mesh)
+    xel = plan.packed_coords()
     uel = velocity[mesh.connectivity]
-    elem = element_rhs(xel, uel, params)
-    rhs = np.zeros((mesh.nnode, 3))
-    np.add.at(rhs, mesh.connectivity.ravel(), elem.reshape(-1, 3))
-    return rhs
+    elem = element_rhs(xel, uel, params, geometry=plan.geometry())
+    return plan.scatter.scatter(elem.reshape(-1, 3))

@@ -19,18 +19,20 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..fem.geometry import tet4_gradients
 from ..fem.mesh import TetMesh
+from ..fem.plan import GeometryCache, get_plan
 from ..solvers.amg import SmoothedAggregationAMG
 from ..solvers.cg import SolveResult, conjugate_gradient
 
 __all__ = ["assemble_laplacian", "divergence_rhs", "PressureSolver"]
 
 
-def assemble_laplacian(mesh: TetMesh) -> sp.csr_matrix:
+def assemble_laplacian(
+    mesh: TetMesh, geometry: Optional[GeometryCache] = None
+) -> sp.csr_matrix:
     """P1 stiffness matrix ``K_ab = sum_e V_e grad N_a . grad N_b``."""
-    grads, dets = tet4_gradients(mesh.element_coords())
-    vols = dets / 6.0
+    geo = get_plan(mesh).geometry() if geometry is None else geometry
+    grads, vols = geo.gradients, geo.volumes
     # elemental 4x4 blocks, vectorized
     ke = np.einsum("e,eai,ebi->eab", vols, grads, grads)
     conn = mesh.connectivity
@@ -52,14 +54,13 @@ def divergence_rhs(
     ``K p = -(rho/dt) int N div u`` gives ``laplacian p = (rho/dt) div u``,
     so the corrector ``u -= (dt/rho) grad p`` removes the divergence.
     """
-    grads, dets = tet4_gradients(mesh.element_coords())
-    vols = dets / 6.0
+    plan = get_plan(mesh)
+    geo = plan.geometry()
+    grads, vols = geo.gradients, geo.volumes
     uel = velocity[mesh.connectivity]  # (nelem, 4, 3)
     div = np.einsum("eai,eai->e", grads, uel)  # constant per element
     contrib = -(density / dt) * (vols * div) / 4.0  # N_a integrates to V/4
-    rhs = np.zeros(mesh.nnode)
-    np.add.at(rhs, mesh.connectivity.ravel(), np.repeat(contrib, 4))
-    return rhs
+    return plan.scatter.scatter(np.repeat(contrib, 4))
 
 
 @dataclasses.dataclass
@@ -83,7 +84,10 @@ class PressureSolver:
     use_amg: bool = True
 
     def __post_init__(self) -> None:
-        self.laplacian = assemble_laplacian(self.mesh)
+        self._plan = get_plan(self.mesh)
+        self.laplacian = assemble_laplacian(
+            self.mesh, geometry=self._plan.geometry()
+        )
         self._amg: Optional[SmoothedAggregationAMG] = None
         if self.use_amg:
             self._amg = SmoothedAggregationAMG(self.laplacian)
@@ -131,14 +135,11 @@ class PressureSolver:
         giving a nodal gradient field.
         """
         mesh = self.mesh
-        grads, dets = tet4_gradients(mesh.element_coords())
-        vols = dets / 6.0
+        geo = self._plan.geometry()
+        grads, vols = geo.gradients, geo.volumes
         pel = pressure[mesh.connectivity]  # (nelem, 4)
         gp = np.einsum("eai,ea->ei", grads, pel)  # constant per element
         contrib = (vols / 4.0)[:, None, None] * gp[:, None, :].repeat(4, axis=1)
-        acc = np.zeros((mesh.nnode, 3))
-        np.add.at(acc, mesh.connectivity.ravel(), contrib.reshape(-1, 3))
-        from ..fem.fields import lumped_mass
-
-        mass = lumped_mass(mesh)
+        acc = self._plan.scatter.scatter(contrib.reshape(-1, 3))
+        mass = self._plan.lumped_mass()
         return acc / mass[:, None]

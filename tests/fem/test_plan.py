@@ -1,0 +1,359 @@
+"""AssemblyPlan: precomputed scatter, cached geometry, bit-identity.
+
+The plan layer replaces every hot-loop ``np.add.at`` with a precomputed
+``np.bincount`` reduction; both accumulate weights sequentially in input
+order, so the results must be *bitwise* equal (``np.array_equal``, not
+``allclose``) -- these tests pin that contract for the raw scatter
+primitives, the DSL assembler, and every physics consumer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UnifiedAssembler
+from repro.core.variants import variant_names
+from repro.fem import (
+    AssemblyPlan,
+    ElementPacking,
+    ScatterPlan,
+    box_tet_mesh,
+    get_plan,
+    lumped_mass,
+    segment_scatter,
+)
+from repro.fem.fields import ElementField
+from repro.fem.geometry import tet4_gradients
+from repro.physics import assemble_momentum_rhs
+from repro.physics.momentum import element_rhs
+from repro.physics.pressure import PressureSolver, divergence_rhs
+
+
+# -- raw scatter primitives -------------------------------------------------------
+
+
+@st.composite
+def scatter_case(draw):
+    nbins = draw(st.integers(min_value=1, max_value=40))
+    nvals = draw(st.integers(min_value=0, max_value=200))
+    idx = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nbins - 1),
+            min_size=nvals,
+            max_size=nvals,
+        )
+    )
+    vals = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, width=64
+            ),
+            min_size=nvals,
+            max_size=nvals,
+        )
+    )
+    return nbins, np.asarray(idx, dtype=np.int64), np.asarray(vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scatter_case())
+def test_segment_scatter_bitwise_equals_add_at_1d(case):
+    nbins, idx, vals = case
+    ref = np.zeros(nbins)
+    np.add.at(ref, idx, vals)
+    got = segment_scatter(idx, vals, nbins)
+    assert np.array_equal(ref, got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scatter_case(), st.integers(min_value=2, max_value=4))
+def test_segment_scatter_bitwise_equals_add_at_2d(case, ncomp):
+    nbins, idx, vals = case
+    vals = np.stack([vals * (k + 1) for k in range(ncomp)], axis=-1)
+    ref = np.zeros((nbins, ncomp))
+    np.add.at(ref, idx, vals)
+    got = segment_scatter(idx, vals, nbins)
+    assert np.array_equal(ref, got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scatter_case())
+def test_scatter_plan_bincount_bitwise(case):
+    nbins, idx, vals = case
+    plan = ScatterPlan(idx, nbins)
+    ref = np.zeros(nbins)
+    np.add.at(ref, idx, vals)
+    assert np.array_equal(plan.scatter(vals), ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scatter_case())
+def test_scatter_plan_sort_strategy_close_and_deterministic(case):
+    nbins, idx, vals = case
+    plan = ScatterPlan(idx, nbins)
+    ref = np.zeros(nbins)
+    np.add.at(ref, idx, vals)
+    a = plan.scatter(vals, strategy="sort")
+    b = plan.scatter(vals, strategy="sort")
+    # reduceat re-associates segment sums: deterministic, but only approx
+    # equal to the sequential order.
+    assert np.array_equal(a, b)
+    assert np.allclose(a, ref, rtol=1e-12, atol=1e-12)
+
+
+def test_scatter_plan_rejects_unknown_strategy():
+    plan = ScatterPlan(np.array([0, 1, 1]), 2)
+    with pytest.raises(ValueError, match="strategy"):
+        plan.scatter(np.ones(3), strategy="atomic")
+
+
+def test_duplicate_heavy_scatter_bitwise():
+    # all values into one bin: worst case for any re-association
+    rng = np.random.default_rng(0)
+    vals = rng.standard_normal(4096) * 10.0 ** rng.integers(-8, 8, 4096)
+    ref = np.zeros(1)
+    np.add.at(ref, np.zeros(4096, dtype=np.int64), vals)
+    got = segment_scatter(np.zeros(4096, dtype=np.int64), vals, 1)
+    assert np.array_equal(ref, got)
+
+
+# -- plan caching -----------------------------------------------------------------
+
+
+def test_get_plan_is_cached(medium_mesh):
+    assert get_plan(medium_mesh) is get_plan(medium_mesh)
+
+
+def test_plan_geometry_matches_mesh(medium_mesh):
+    plan = get_plan(medium_mesh)
+    grads, dets = tet4_gradients(medium_mesh.element_coords())
+    geo = plan.geometry()
+    assert np.array_equal(geo.gradients, grads)
+    assert np.array_equal(geo.dets, dets)
+    assert np.array_equal(geo.volumes, dets / 6.0)
+    assert geo is plan.geometry()  # cached
+
+
+def test_plan_element_volumes_are_mesh_volumes(medium_mesh):
+    # cross-product volumes (mesh path), NOT det/6 -- the two differ in
+    # the last ulp and downstream consumers depend on the mesh flavour.
+    plan = get_plan(medium_mesh)
+    assert np.array_equal(plan.element_volumes(), medium_mesh.element_volumes())
+
+
+def test_plan_arrays_are_readonly(medium_mesh):
+    plan = get_plan(medium_mesh)
+    for arr in (
+        plan.geometry().gradients,
+        plan.geometry().volumes,
+        plan.element_volumes(),
+        plan.lumped_mass(),
+        plan.packed_coords(),
+    ):
+        assert not arr.flags.writeable
+
+
+def test_plan_invalidated_by_fix_orientation():
+    mesh = box_tet_mesh(3, 3, 3)
+    before = get_plan(mesh)
+    assert get_plan(mesh) is before
+    # break one element's orientation, then repair it: the repair bumps the
+    # mesh version and must retire the cached plan
+    mesh.connectivity[0, [1, 2]] = mesh.connectivity[0, [2, 1]]
+    assert mesh.fix_orientation() == 1
+    after = get_plan(mesh)
+    assert after is not before
+    assert get_plan(mesh) is after
+
+
+def test_plan_packing_cached_per_signature(medium_mesh):
+    plan = get_plan(medium_mesh)
+    perm = np.random.default_rng(5).permutation(medium_mesh.nelem)
+    assert plan.packing(16) is plan.packing(16)
+    assert plan.packing(16) is not plan.packing(32)
+    assert plan.packing(16, permutation=perm) is plan.packing(16, permutation=perm)
+    assert plan.packing(16, permutation=perm) is not plan.packing(16)
+
+
+def test_plan_lumped_mass_bitwise(medium_mesh):
+    vols = medium_mesh.element_volumes()
+    ref = np.zeros(medium_mesh.nnode)
+    np.add.at(ref, medium_mesh.connectivity.ravel(), np.repeat(vols / 4.0, 4))
+    assert np.array_equal(get_plan(medium_mesh).lumped_mass(), ref)
+    assert np.array_equal(lumped_mass(medium_mesh), ref)
+    # the public helper still honours the mutable-copy contract
+    out = lumped_mass(medium_mesh)
+    out[0] = -1.0
+    assert lumped_mass(medium_mesh)[0] == ref[0]
+
+
+# -- packing memoization ----------------------------------------------------------
+
+
+def test_packing_full_groups_share_active_mask(medium_mesh):
+    p = ElementPacking(medium_mesh, vector_dim=16)
+    g0, g1 = p.group(0), p.group(1)
+    assert g0.active is g1.active
+    assert not g0.active.flags.writeable
+
+
+def test_packing_final_padded_group_memoized(small_mesh):
+    p = ElementPacking(small_mesh, vector_dim=100)  # 162 elems -> padded
+    last = p.ngroups - 1
+    assert p.group(last) is p.group(last)
+    # uncached packing still rebuilds full groups
+    assert p.group(0) is not p.group(0)
+
+
+def test_packing_cache_memoizes_every_group(small_mesh):
+    p = ElementPacking(small_mesh, vector_dim=16, cache=True)
+    for i in range(p.ngroups):
+        assert p.group(i) is p.group(i)
+
+
+def test_cached_packing_groups_match_uncached(small_mesh):
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(small_mesh.nelem)
+    a = ElementPacking(small_mesh, vector_dim=32, permutation=perm, cache=True)
+    b = ElementPacking(small_mesh, vector_dim=32, permutation=perm)
+    for ga, gb in zip(a, b):
+        assert np.array_equal(ga.element_ids, gb.element_ids)
+        assert np.array_equal(ga.connectivity, gb.connectivity)
+        assert np.array_equal(ga.coords, gb.coords)
+        assert np.array_equal(ga.active, gb.active)
+
+
+# -- end-to-end bit-identity ------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", variant_names())
+def test_unified_plan_path_bitwise_equals_legacy(variant, medium_mesh, params):
+    rng = np.random.default_rng(11)
+    u = 0.1 * rng.standard_normal((medium_mesh.nnode, 3))
+    planned = UnifiedAssembler(medium_mesh, params, vector_dim=16)
+    legacy = UnifiedAssembler(
+        medium_mesh, params, vector_dim=16, use_plan=False
+    )
+    assert planned.plan is not None and legacy.plan is None
+    r1 = planned.assemble(variant, u)
+    r0 = legacy.assemble(variant, u)
+    assert np.array_equal(r1, r0)
+    # second sweep reuses the recorded scatter pattern -- still identical
+    assert np.array_equal(planned.assemble(variant, u), r0)
+
+
+@pytest.mark.parametrize("vector_dim", [7, 100, 4096])
+def test_unified_plan_path_bitwise_with_padding(vector_dim, small_mesh, params):
+    # 162 elements: every vector_dim here leaves padding lanes in the
+    # final group, which the deferred scatter must route to the trash bin
+    rng = np.random.default_rng(3)
+    u = 0.1 * rng.standard_normal((small_mesh.nnode, 3))
+    planned = UnifiedAssembler(small_mesh, params, vector_dim=vector_dim)
+    legacy = UnifiedAssembler(
+        small_mesh, params, vector_dim=vector_dim, use_plan=False
+    )
+    for variant in variant_names():
+        assert np.array_equal(
+            planned.assemble(variant, u), legacy.assemble(variant, u)
+        )
+
+
+def test_unified_plan_path_bitwise_with_permutation(small_mesh, params):
+    rng = np.random.default_rng(4)
+    u = 0.1 * rng.standard_normal((small_mesh.nnode, 3))
+    perm = rng.permutation(small_mesh.nelem)
+    planned = UnifiedAssembler(
+        small_mesh, params, vector_dim=16, permutation=perm
+    )
+    legacy = UnifiedAssembler(
+        small_mesh, params, vector_dim=16, permutation=perm, use_plan=False
+    )
+    for variant in variant_names():
+        assert np.array_equal(
+            planned.assemble(variant, u), legacy.assemble(variant, u)
+        )
+
+
+def test_momentum_assembly_bitwise_equals_seed_path(medium_mesh, params):
+    rng = np.random.default_rng(12)
+    u = 0.1 * rng.standard_normal((medium_mesh.nnode, 3))
+    elem = element_rhs(
+        medium_mesh.element_coords(), u[medium_mesh.connectivity], params
+    )
+    ref = np.zeros((medium_mesh.nnode, 3))
+    np.add.at(ref, medium_mesh.connectivity.ravel(), elem.reshape(-1, 3))
+    assert np.array_equal(assemble_momentum_rhs(medium_mesh, u, params), ref)
+
+
+def test_divergence_rhs_bitwise_equals_seed_path(medium_mesh):
+    rng = np.random.default_rng(13)
+    u = rng.standard_normal((medium_mesh.nnode, 3))
+    grads, dets = tet4_gradients(medium_mesh.element_coords())
+    vols = dets / 6.0
+    div = np.einsum("eai,eai->e", grads, u[medium_mesh.connectivity])
+    contrib = -(1.2 / 0.05) * (vols * div) / 4.0
+    ref = np.zeros(medium_mesh.nnode)
+    np.add.at(ref, medium_mesh.connectivity.ravel(), np.repeat(contrib, 4))
+    assert np.array_equal(divergence_rhs(medium_mesh, u, 1.2, 0.05), ref)
+
+
+def test_pressure_gradient_bitwise_equals_seed_path(medium_mesh):
+    rng = np.random.default_rng(14)
+    p = rng.standard_normal(medium_mesh.nnode)
+    grads, dets = tet4_gradients(medium_mesh.element_coords())
+    vols = dets / 6.0
+    gp = np.einsum("eai,ea->ei", grads, p[medium_mesh.connectivity])
+    contrib = (vols / 4.0)[:, None, None] * gp[:, None, :].repeat(4, axis=1)
+    acc = np.zeros((medium_mesh.nnode, 3))
+    np.add.at(acc, medium_mesh.connectivity.ravel(), contrib.reshape(-1, 3))
+    ref = acc / lumped_mass(medium_mesh)[:, None]
+    solver = PressureSolver(medium_mesh, use_amg=False)
+    assert np.array_equal(solver.pressure_gradient(p), ref)
+
+
+def test_to_nodal_bitwise_equals_seed_path(medium_mesh):
+    rng = np.random.default_rng(15)
+    data = rng.standard_normal((medium_mesh.nelem, 3))
+    vols = medium_mesh.element_volumes()
+    contrib = (data * vols[:, None])[:, None, :].repeat(4, axis=1)
+    acc = np.zeros((medium_mesh.nnode, 3))
+    wsum = np.zeros(medium_mesh.nnode)
+    np.add.at(acc, medium_mesh.connectivity.ravel(), contrib.reshape(-1, 3))
+    np.add.at(wsum, medium_mesh.connectivity.ravel(), np.repeat(vols, 4))
+    ref = acc / np.maximum(wsum, 1e-300)[:, None]
+    got = ElementField(medium_mesh, ncomp=3, data=data).to_nodal()
+    assert np.array_equal(np.asarray(got), ref)
+
+
+# -- deferred accumulator internals ----------------------------------------------
+
+
+def test_accumulator_pattern_reused_across_assemblies(small_mesh, params):
+    plan = AssemblyPlan(small_mesh)
+    asm = UnifiedAssembler(small_mesh, params, vector_dim=16)
+    asm.plan = plan  # isolate pattern bookkeeping from the shared cache
+    asm.packing = plan.packing(16)
+    u = np.zeros((small_mesh.nnode, 3))
+    asm.assemble("B", u)
+    assert len(plan._patterns) == 1
+    asm.assemble("B", u)
+    assert len(plan._patterns) == 1  # reused, not rebuilt
+    asm.assemble("RSP", u)
+    assert len(plan._patterns) == 2  # separate key per variant
+
+
+def test_accumulator_rejects_out_of_order_reuse(small_mesh):
+    plan = AssemblyPlan(small_mesh)
+    packing = plan.packing(16)
+    groups = list(packing)
+    acc = plan.accumulator(key=("t", 16, None))
+    for g in groups:
+        acc.begin_group(g)
+        acc.add(0, 0, np.ones(g.vector_dim))
+    acc.finalize(np.zeros((small_mesh.nnode, 3)))
+    acc2 = plan.accumulator(key=("t", 16, None))
+    acc2.begin_group(groups[0])
+    acc2.add(1, 0, np.ones(groups[0].vector_dim))  # different slot
+    with pytest.raises(RuntimeError, match="scatter pattern"):
+        acc2.finalize(np.zeros((small_mesh.nnode, 3)))

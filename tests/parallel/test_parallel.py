@@ -180,3 +180,79 @@ def test_property_partitioned_assembly(nranks, seed):
         assemble_momentum_rhs(mesh, u, params),
         atol=1e-12,
     )
+
+
+def test_partitioned_assembly_bitwise_unchanged_by_plan_scatter(mesh):
+    """The precomputed-scatter local reduction must reproduce the seed
+    ``np.add.at`` pipeline bit for bit (same partition, same halo order)."""
+    from repro.physics.momentum import element_rhs
+
+    params = AssemblyParams(body_force=(0.0, 0.3, -0.1))
+    rng = np.random.default_rng(21)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    nranks = 4
+    labels = rcb_partition(mesh, nranks)
+
+    # seed-style reference: identical driver, np.add.at local scatter
+    plans = build_plans(mesh, labels)
+    world = {}
+    comms = [SimComm(r, nranks, world) for r in range(nranks)]
+    partials = []
+    for comm, plan in zip(comms, plans):
+        xel = mesh.coords[mesh.connectivity[plan.element_ids]]
+        uel = u[mesh.connectivity[plan.element_ids]]
+        elem = element_rhs(xel, uel, params)
+        local = np.zeros((len(plan.node_map), 3))
+        np.add.at(local, plan.local_connectivity.ravel(), elem.reshape(-1, 3))
+        partials.append(local)
+        post_interface(comm, plan, local)
+    for i, (comm, plan) in enumerate(zip(comms, plans)):
+        partials[i] = reduce_interface(comm, plan, partials[i])
+    ref = np.zeros((mesh.nnode, 3))
+    filled = np.zeros(mesh.nnode, dtype=bool)
+    for plan in plans:
+        sel = ~filled[plan.node_map]
+        ref[plan.node_map[sel]] = partials[plan.rank][sel]
+        filled[plan.node_map[sel]] = True
+
+    got = assemble_partitioned(mesh, u, params, nranks, labels=labels)
+    assert np.array_equal(got, ref)
+
+
+# -- multiprocess runner baseline -------------------------------------------------
+
+
+def test_runner_baseline_is_smallest_worker_count():
+    """measure() must normalize to the smallest worker count even when it
+    is not listed first (the seed silently used the first entry)."""
+    from repro.parallel import MultiprocessRunner
+
+    mesh = box_tet_mesh(3, 3, 3)
+    runner = MultiprocessRunner(mesh, AssemblyParams(), repeats=1)
+    points = runner.measure([2, 1])
+    assert [p.workers for p in points] == [2, 1]
+    assert all(p.baseline_workers == 1 for p in points)
+    one = next(p for p in points if p.workers == 1)
+    two = next(p for p in points if p.workers == 2)
+    assert one.speedup == pytest.approx(1.0)
+    assert one.efficiency == pytest.approx(1.0)
+    assert two.speedup == pytest.approx(one.wall_seconds / two.wall_seconds)
+    assert two.efficiency == pytest.approx(two.speedup / 2.0)
+
+
+def test_runner_shares_element_arrays_via_shm():
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel import MultiprocessRunner
+
+    mesh = box_tet_mesh(3, 3, 3)
+    registry = MetricsRegistry()
+    runner = MultiprocessRunner(
+        mesh, AssemblyParams(), repeats=1, metrics=registry
+    )
+    points = runner.measure([1, 2])
+    assert len(points) == 2
+    snap = registry.snapshot()
+    # both packed arrays shared once, regardless of how many counts ran
+    assert snap["runner.shm_bytes_shared"]["value"] == 2 * mesh.nelem * 4 * 3 * 8
+    # the 2-worker point avoided pickling both packs
+    assert snap["runner.pickle_bytes_saved"]["value"] == 2 * mesh.nelem * 4 * 3 * 8
