@@ -3,9 +3,12 @@
 
 Compares a fresh ``BENCH_variants.json`` against the committed baseline
 (``benchmarks/bench_baseline.json``) and warns when a variant's real wall
-clock regressed by more than the threshold (default 20%).  Model runtimes
-are compared too, but those are deterministic -- any drift there means the
-machine model itself changed.
+clock regressed by more than the threshold (default 20%).  Entries are
+matched like-for-like on ``(benchmark, variant, vector_dim, mode)`` --
+wall clock scales with the vector length, so only same-``vector_dim``
+measurements are ever compared.  Model runtimes are compared too, but
+those are deterministic -- any drift there means the machine model itself
+changed.
 
 Exit code is 0 unless ``--strict`` is passed (then >threshold wall-clock
 regressions fail the run).  Wall-clock noise on shared CI runners is why
@@ -30,26 +33,58 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 from repro.obs import read_bench_json  # noqa: E402
 
 
-def _by_variant(doc: dict) -> dict:
-    return {e["variant"]: e for e in doc.get("entries", []) if "variant" in e}
+#: wall-clock and model-runtime fields compared between runs
+_FIELDS = (
+    "wall_ms",
+    "interpreted_ms",
+    "compiled_ms",
+    "gpu_model_runtime_ms",
+    "cpu_model_runtime_ms",
+)
+
+
+def _entry_key(entry: dict) -> tuple:
+    """Like-for-like comparison key for one bench entry.
+
+    Wall clock scales with the group size, so entries are only comparable
+    when benchmark kind, variant, ``vector_dim`` AND execution mode all
+    match -- a baseline measured at ``vector_dim=64`` must never gate a
+    fresh ``vector_dim=1024`` run (or interpreted vs compiled).
+    """
+    return (
+        entry.get("benchmark", "variants"),
+        entry["variant"],
+        entry.get("vector_dim"),
+        entry.get("mode"),
+    )
+
+
+def _by_key(doc: dict) -> dict:
+    return {
+        _entry_key(e): e for e in doc.get("entries", []) if "variant" in e
+    }
 
 
 def compare(bench: dict, baseline: dict, threshold: float) -> list:
-    """Return [(variant, field, old, new, ratio)] for regressed entries."""
-    fresh = _by_variant(bench)
-    base = _by_variant(baseline)
+    """Return [(label, field, old, new, ratio)] for regressed entries."""
+    fresh = _by_key(bench)
+    base = _by_key(baseline)
     regressions = []
-    for variant, entry in sorted(fresh.items()):
-        ref = base.get(variant)
+    for key, entry in sorted(fresh.items(), key=lambda kv: str(kv[0])):
+        ref = base.get(key)
         if ref is None:
             continue
-        for field in ("wall_ms", "gpu_model_runtime_ms", "cpu_model_runtime_ms"):
+        benchmark, variant, vector_dim, _mode = key
+        label = variant if benchmark == "variants" else f"{benchmark}/{variant}"
+        if vector_dim is not None:
+            label += f"@vd{vector_dim}"
+        for field in _FIELDS:
             old, new = ref.get(field), entry.get(field)
             if old is None or new is None or old <= 0:
                 continue
             ratio = new / old
             if ratio > 1.0 + threshold:
-                regressions.append((variant, field, old, new, ratio))
+                regressions.append((label, field, old, new, ratio))
     return regressions
 
 
@@ -102,19 +137,19 @@ def main(argv=None) -> int:
     if not regressions:
         emit(
             f"check_regression: OK -- no >{args.threshold:.0%} regressions "
-            f"across {len(_by_variant(bench))} variants"
+            f"across {len(_by_key(bench))} entries"
         )
         flush_report()
         return 0
 
     emit(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
     wall_regressed = False
-    for variant, field, old, new, ratio in regressions:
+    for label, field, old, new, ratio in regressions:
         emit(
-            f"  {variant:>5s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
+            f"  {label:>20s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
             f"({ratio - 1.0:+.0%})"
         )
-        wall_regressed |= field == "wall_ms"
+        wall_regressed |= field in ("wall_ms", "compiled_ms")
     if args.strict and wall_regressed:
         flush_report()
         return 1

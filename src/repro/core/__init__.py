@@ -24,11 +24,26 @@ from .restructured import (
     SPEC_VREMAN_C,
 )
 from .variants import VARIANTS, Variant, get_variant, variant_names
+from .tape import (
+    CompiledTape,
+    ElementalTape,
+    RecordingBackend,
+    TapeProgram,
+    TapeReport,
+    compiled_tape,
+    record_program,
+)
 from .unified import (
     CPU_VECTOR_DIM,
     GPU_VECTOR_DIM,
     SpecializationError,
     UnifiedAssembler,
+)
+from .autotune import (
+    DEFAULT_CANDIDATES,
+    AutotuneResult,
+    autotune_vector_dim,
+    write_autotune_report,
 )
 from .study import OptimizationStudy, PAPER_NELEM
 
@@ -40,7 +55,11 @@ __all__ = [
     "make_specialized_kernel", "rs_kernel", "rsp_kernel", "rspr_kernel",
     "SPEC_DENSITY", "SPEC_VISCOSITY", "SPEC_VREMAN_C",
     "VARIANTS", "Variant", "get_variant", "variant_names",
+    "CompiledTape", "ElementalTape", "RecordingBackend", "TapeProgram",
+    "TapeReport", "compiled_tape", "record_program",
     "CPU_VECTOR_DIM", "GPU_VECTOR_DIM", "SpecializationError",
     "UnifiedAssembler",
+    "DEFAULT_CANDIDATES", "AutotuneResult", "autotune_vector_dim",
+    "write_autotune_report",
     "OptimizationStudy", "PAPER_NELEM",
 ]

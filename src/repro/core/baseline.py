@@ -81,24 +81,24 @@ def make_baseline_kernel(temp_storage: Storage = Storage.GLOBAL_TEMP):
         ]
 
         # -- temporary arrays (Alya names) --------------------------------
-        elcod = bk.temp("elcod", (pnode, ndime), st)
-        elvel = bk.temp("elvel", (pnode, ndime), st)
-        gpsha = bk.temp("gpsha", (pnode, pgaus), st)
-        gpder = bk.temp("gpder", (pnode, ndime, pgaus), st)
-        xjacm = bk.temp("xjacm", (pgaus, ndime, ndime), st)
-        xjaci = bk.temp("xjaci", (pgaus, ndime, ndime), st)
-        gpdet = bk.temp("gpdet", (pgaus,), st)
-        gpvol = bk.temp("gpvol", (pgaus,), st)
-        gpcar = bk.temp("gpcar", (pgaus, pnode, ndime), st)
-        gpadv = bk.temp("gpadv", (pgaus, ndime), st)
-        gpgve = bk.temp("gpgve", (pgaus, ndime, ndime), st)
-        gpden = bk.temp("gpden", (pgaus,), st)
-        gpvis = bk.temp("gpvis", (pgaus,), st)
-        gpmut = bk.temp("gpmut", (pgaus,), st)
-        gpalp = bk.temp("gpalp", (ndime, ndime), st)
-        gpbet = bk.temp("gpbet", (ndime, ndime), st)
-        elauu = bk.temp("elauu", (pnode, pnode, ndime, ndime), st)
-        elrbu = bk.temp("elrbu", (pnode, ndime), st)
+        elcod = bk.temp("elcod", (pnode, ndime), st, write_before_read=True)
+        elvel = bk.temp("elvel", (pnode, ndime), st, write_before_read=True)
+        gpsha = bk.temp("gpsha", (pnode, pgaus), st, write_before_read=True)
+        gpder = bk.temp("gpder", (pnode, ndime, pgaus), st, write_before_read=True)
+        xjacm = bk.temp("xjacm", (pgaus, ndime, ndime), st, write_before_read=True)
+        xjaci = bk.temp("xjaci", (pgaus, ndime, ndime), st, write_before_read=True)
+        gpdet = bk.temp("gpdet", (pgaus,), st, write_before_read=True)
+        gpvol = bk.temp("gpvol", (pgaus,), st, write_before_read=True)
+        gpcar = bk.temp("gpcar", (pgaus, pnode, ndime), st, write_before_read=True)
+        gpadv = bk.temp("gpadv", (pgaus, ndime), st, write_before_read=True)
+        gpgve = bk.temp("gpgve", (pgaus, ndime, ndime), st, write_before_read=True)
+        gpden = bk.temp("gpden", (pgaus,), st, write_before_read=True)
+        gpvis = bk.temp("gpvis", (pgaus,), st, write_before_read=True)
+        gpmut = bk.temp("gpmut", (pgaus,), st, write_before_read=True)
+        gpalp = bk.temp("gpalp", (ndime, ndime), st, write_before_read=True)
+        gpbet = bk.temp("gpbet", (ndime, ndime), st, write_before_read=True)
+        elauu = bk.temp("elauu", (pnode, pnode, ndime, ndime), st, write_before_read=True)
+        elrbu = bk.temp("elrbu", (pnode, ndime), st, write_before_read=True)
 
         # -- gather element data ------------------------------------------
         for a in range(pnode):

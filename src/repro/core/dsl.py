@@ -181,6 +181,7 @@ class Backend:
         shape: Tuple[int, ...],
         storage: Storage,
         static: bool = False,
+        write_before_read: bool = False,
     ) -> Temp:
         raise NotImplementedError
 
@@ -282,9 +283,20 @@ class NumpyBackend(Backend):
         shape: Tuple[int, ...],
         storage: Storage,
         static: bool = False,
+        write_before_read: bool = False,
     ) -> Temp:
-        spec = TempSpec(name=name, shape=tuple(shape), storage=storage, static=static)
-        t = Temp(spec=spec, data=np.zeros((self.nlane,) + spec.shape))
+        spec = TempSpec(
+            name=name,
+            shape=tuple(shape),
+            storage=storage,
+            static=static,
+            write_before_read=write_before_read,
+        )
+        # Write-before-read temporaries skip the zero fill (see the
+        # TempSpec contract in storage.py): the kernel promises every slot
+        # is stored before it is loaded, so the fill would be dead work.
+        alloc = np.empty if spec.write_before_read else np.zeros
+        t = Temp(spec=spec, data=alloc((self.nlane,) + spec.shape))
         self._temps[name] = t
         return t
 
@@ -511,8 +523,15 @@ class TracingBackend(Backend):
         shape: Tuple[int, ...],
         storage: Storage,
         static: bool = False,
+        write_before_read: bool = False,
     ) -> Temp:
-        spec = TempSpec(name=name, shape=tuple(shape), storage=storage, static=static)
+        spec = TempSpec(
+            name=name,
+            shape=tuple(shape),
+            storage=storage,
+            static=static,
+            write_before_read=write_before_read,
+        )
         if name in self._temps:
             raise ValueError(f"temporary {name!r} declared twice")
         t = Temp(spec=spec, data=None)

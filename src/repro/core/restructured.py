@@ -95,14 +95,14 @@ def make_specialized_kernel(
         ]
 
         # -- temporaries: 6-8 small arrays instead of 18 -------------------
-        elvel = bk.temp("elvel", (_PNODE, _NDIME), st, static=True)
-        xjacm = bk.temp("xjacm", (_NDIME, _NDIME), st, static=True)
-        xjaci = bk.temp("xjaci", (_NDIME, _NDIME), st, static=True)
-        gpcar = bk.temp("gpcar", (_PNODE, _NDIME), st, static=True)
-        gpgve = bk.temp("gpgve", (_NDIME, _NDIME), st, static=True)
+        elvel = bk.temp("elvel", (_PNODE, _NDIME), st, static=True, write_before_read=True)
+        xjacm = bk.temp("xjacm", (_NDIME, _NDIME), st, static=True, write_before_read=True)
+        xjaci = bk.temp("xjaci", (_NDIME, _NDIME), st, static=True, write_before_read=True)
+        gpcar = bk.temp("gpcar", (_PNODE, _NDIME), st, static=True, write_before_read=True)
+        gpgve = bk.temp("gpgve", (_NDIME, _NDIME), st, static=True, write_before_read=True)
         if not immediate_scatter:
-            gpadv = bk.temp("gpadv", (_PGAUS, _NDIME), st, static=True)
-            elrbu = bk.temp("elrbu", (_PNODE, _NDIME), st, static=True)
+            gpadv = bk.temp("gpadv", (_PGAUS, _NDIME), st, static=True, write_before_read=True)
+            elrbu = bk.temp("elrbu", (_PNODE, _NDIME), st, static=True, write_before_read=True)
 
         # -- gather velocities (coordinates are consumed on the fly) -------
         for a in range(_PNODE):
@@ -266,7 +266,7 @@ def make_specialized_kernel(
             # the fly (trading a few extra global loads for fewer live
             # values, which is why the paper's RSPR shows *more* global
             # loads but *fewer* registers than RSP).
-            gpcnv = bk.temp("gpcnv", (_PGAUS, _NDIME), st, static=True)
+            gpcnv = bk.temp("gpcnv", (_PGAUS, _NDIME), st, static=True, write_before_read=True)
             for q in range(_PGAUS):
                 uq = []
                 for j in range(_NDIME):

@@ -81,6 +81,17 @@ class TempSpec:
     #: are register-mappable; private arrays with runtime indices live in
     #: local memory (Table III, cases 3 vs 2).
     static: bool = False
+    #: Allocation contract: ``True`` promises that the kernel stores into
+    #: every slot it later loads, so the execution backend may hand out
+    #: *uninitialized* memory (``np.empty``) instead of zero-filling -- the
+    #: Python analogue of the paper's observation that "even for zero
+    #: initialization, the compilers emit the store of a zero to memory,
+    #: just to reload the zero a few instructions later".  With the default
+    #: ``False`` the backend keeps the seed ``np.zeros`` semantics and a
+    #: load of a never-stored slot reads 0.0.  Declaring ``True`` for a
+    #: temporary that *does* read before writing is undefined behaviour
+    #: (garbage values); the variant bit-equality tests pin the contract.
+    write_before_read: bool = False
 
     @property
     def size(self) -> int:

@@ -230,9 +230,15 @@ class OptimizationStudy:
                 entry: Dict[str, object] = {
                     "variant": v,
                     "nelem": int(self.mesh.nelem),
+                    "vector_dim": int(self.assembler.resolve_vector_dim(v)),
+                    "mode": self.assembler.mode,
                     "wall_ms": wall * 1e3,
                     "melem_per_s": self.mesh.nelem / wall / 1e6,
                 }
+                if self.assembler.plan is not None:
+                    tuned = self.assembler.plan.tuned_vector_dim(v)
+                    if tuned is not None:
+                        entry["tuned_vector_dim"] = int(tuned)
                 if v in gpu_rt:
                     entry["gpu_model_runtime_ms"] = gpu_rt[v]
                 if v in cpu_rt:

@@ -1,0 +1,782 @@
+"""Compiled kernel tapes: record-once DSL execution with buffer arenas.
+
+The interpreted :class:`~repro.core.dsl.NumpyBackend` allocates a fresh
+lane-width array for **every** DSL binop/unop -- hundreds of short-lived
+arrays per element group, the exact overhead class the paper's
+Privatization (P) transformation eliminates on the GPU.  This module is
+the Python analogue of P:
+
+* :class:`RecordingBackend` runs a variant kernel **once** (symbolically,
+  no numerics beyond scalar constant folding) and captures a linear SSA
+  tape of the vector operations the kernel would have executed.  Because
+  the kernels are straight-line code whose control flow depends only on
+  runtime *flags* (baked into the tape) and never on lane data, a single
+  recording is valid for every element group of every assembly.
+* :func:`compile_tape` dead-code-eliminates the tape backwards from its
+  scatter calls, runs a linear-scan liveness analysis and assigns every
+  surviving intermediate to a small pool of preallocated lane-width
+  buffers -- the numpy analog of registers.  The resulting
+  :class:`TapeReport` reports "buffers live" the way
+  :class:`~repro.core.dsl.TracingBackend` reports register pressure.
+* :class:`CompiledTape` replays the tape over **all element groups at
+  once** (lanes stacked) with in-place ``out=`` ufunc calls into the
+  arena, and ends with the same single-``bincount`` flush the deferred
+  :class:`~repro.fem.plan.ScatterAccumulator` uses.  Steady-state
+  time-stepping therefore does zero Python-level array allocation in the
+  momentum RHS.
+* :class:`ElementalTape` is the picklable flavour the multiprocess runner
+  ships to workers: the same compiled program, executed against packed
+  per-element coordinate/velocity arrays, producing ``(n, 4, 3)``
+  elemental contributions.
+
+Bit-identity contract
+---------------------
+The compiled tape must produce **bit-identical** RHS output to the
+interpreted ``NumpyBackend`` path.  This holds because
+
+* every DSL arithmetic op is an elementwise float64 ufunc, so evaluating
+  all groups' lanes stacked in one array gives the same per-lane bits as
+  per-group evaluation;
+* scalar folding at record time uses the *same* numpy-scalar arithmetic
+  ``NumpyBackend`` would have used (``np.float64`` throughout);
+* gathers and ``select_gt`` are pure selection (no arithmetic), so CSE
+  and predicated replay preserve bits; and
+* scatter values are laid out ``(ngroups, ncalls, nlane)`` so that their
+  C-order flattening reproduces the accumulator's group-major temporal
+  order -- the same ``bincount`` input order, hence the same rounding.
+
+Tapes are cached on the :class:`~repro.fem.plan.AssemblyPlan` keyed by
+``(variant, vector_dim, permutation, params)``; plans themselves are
+invalidated on mesh reorientation, so a tape can never outlive the mesh
+version it was recorded against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from ..obs.spans import NULL_TRACER, get_tracer
+from .dsl import Backend, KernelContext, Temp, Value
+from .storage import Storage, TempSpec
+from .variants import get_variant
+
+__all__ = [
+    "RecordingBackend",
+    "TapeReport",
+    "TapeProgram",
+    "CompiledTape",
+    "ElementalTape",
+    "record_program",
+    "compiled_tape",
+    "tape_cache_key",
+]
+
+#: scalar reference on the tape (folded constant); vector refs are ints
+Scalar = np.float64
+Ref = Union[int, np.float64]
+
+#: DSL op name -> numpy ufunc name (picklable; resolved at execution time)
+_UFUNC_NAMES = {
+    "add": "add",
+    "sub": "subtract",
+    "mul": "multiply",
+    "div": "true_divide",
+    "max": "maximum",
+    "neg": "negative",
+    "sqrt": "sqrt",
+    "cbrt": "cbrt",
+}
+
+
+def _ufunc(name: str):
+    return getattr(np, name)
+
+
+def _is_scalar(ref) -> bool:
+    return not isinstance(ref, (int, np.integer)) or isinstance(ref, bool)
+
+
+# ---------------------------------------------------------------------------
+# Recording
+# ---------------------------------------------------------------------------
+
+
+class RecordingBackend(Backend):
+    """Captures a variant kernel's op stream as a linear SSA tape.
+
+    Values are symbolic: a :class:`~repro.core.dsl.Value` payload is either
+    an SSA id (``int`` -- a lane-wide vector produced by a recorded op) or
+    a folded ``np.float64`` scalar.  Temporaries are not allocated at all;
+    stores bind ``(name, linear index)`` slots to refs and loads read the
+    current binding (SSA renaming), which is exactly what the eager
+    backend's store-then-load round trip computes.  Loading a never-stored
+    slot yields the scalar ``0.0`` -- the ``np.zeros`` initialisation the
+    execution backend guarantees for non-``write_before_read`` temps.
+
+    Gathers are CSE'd (coordinates and fields are read-only during a
+    sweep, so re-gathering the same ``(slot, component)`` -- which the
+    RSPR kernel does -- is the same value).  Scalar arithmetic is folded
+    at record time with the identical numpy-scalar operations the numpy
+    backend would have executed, so folding cannot change a single bit.
+    """
+
+    def __init__(self, ctx: KernelContext) -> None:
+        self.ctx = ctx
+        self.nlane = ctx.nlane
+        self.ops: List[tuple] = []
+        self.scatter_calls: List[Tuple[int, int]] = []
+        self.temps: Dict[str, TempSpec] = {}
+        self._slots: Dict[Tuple[str, int], Ref] = {}
+        self._gather_memo: Dict[tuple, int] = {}
+        self._next_id = 0
+        self.folded_scalars = 0
+        self.gather_reuses = 0
+
+    # -- SSA ids ---------------------------------------------------------
+    def _emit(self, op: tuple) -> Value:
+        """Append ``op`` (whose last element is the fresh out id)."""
+        self.ops.append(op)
+        return Value(self, op[-1])
+
+    def _new_id(self) -> int:
+        i = self._next_id
+        self._next_id += 1
+        return i
+
+    # -- scalars ---------------------------------------------------------
+    def const(self, x) -> Value:
+        return Value(self, np.float64(x))
+
+    def binop(self, op: str, a: Value, b: Value) -> Value:
+        pa, pb = a.payload, b.payload
+        if _is_scalar(pa) and _is_scalar(pb):
+            # Fold with the same np.float64 arithmetic NumpyBackend uses.
+            self.folded_scalars += 1
+            return Value(self, _ufunc(_UFUNC_NAMES[op])(pa, pb))
+        return self._emit(("bin", op, pa, pb, self._new_id()))
+
+    def unop(self, op: str, a: Value) -> Value:
+        pa = a.payload
+        if _is_scalar(pa):
+            self.folded_scalars += 1
+            return Value(self, _ufunc(_UFUNC_NAMES[op])(pa))
+        return self._emit(("un", op, pa, self._new_id()))
+
+    def maximum(self, a: Value, b) -> Value:
+        return self.binop("max", a, self._coerce(b))
+
+    def select_gt(self, x: Value, thresh: float, a: Value, b) -> Value:
+        bv = self._coerce(b)
+        px, pa, pb = x.payload, a.payload, bv.payload
+        if _is_scalar(px):
+            # Pure selection on a uniform condition: the eager backend's
+            # np.where would return (a copy of) one branch wholesale.
+            self.folded_scalars += 1
+            return Value(self, pa if px > thresh else pb)
+        return self._emit(("sel", px, pa, pb, np.float64(thresh), self._new_id()))
+
+    def _coerce(self, x) -> Value:
+        return x if isinstance(x, Value) else self.const(x)
+
+    # -- temporaries -----------------------------------------------------
+    def temp(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        storage: Storage,
+        static: bool = False,
+        write_before_read: bool = False,
+    ) -> Temp:
+        spec = TempSpec(
+            name=name,
+            shape=tuple(shape),
+            storage=storage,
+            static=static,
+            write_before_read=write_before_read,
+        )
+        self.temps[name] = spec
+        return Temp(spec=spec, data=None)
+
+    def load(self, temp: Temp, idx: Tuple[int, ...]) -> Value:
+        lin = temp.spec.linear_index(tuple(idx))
+        return Value(self, self._slots.get((temp.spec.name, lin), np.float64(0.0)))
+
+    def store(self, temp: Temp, idx: Tuple[int, ...], value: Value) -> None:
+        lin = temp.spec.linear_index(tuple(idx))
+        self._slots[(temp.spec.name, lin)] = value.payload
+
+    # -- mesh / global data ----------------------------------------------
+    def gather_coord(self, node_slot: int, component: int) -> Value:
+        key = ("gc", int(node_slot), int(component))
+        ref = self._gather_memo.get(key)
+        if ref is not None:
+            self.gather_reuses += 1
+            return Value(self, ref)
+        out = self._new_id()
+        self._gather_memo[key] = out
+        return self._emit(("gc", int(node_slot), int(component), out))
+
+    def gather_field(self, field: str, node_slot: int, component: int) -> Value:
+        key = ("gf", field, int(node_slot), int(component))
+        ref = self._gather_memo.get(key)
+        if ref is not None:
+            self.gather_reuses += 1
+            return Value(self, ref)
+        out = self._new_id()
+        self._gather_memo[key] = out
+        return self._emit(("gf", field, int(node_slot), int(component), out))
+
+    def scatter_add_rhs(self, node_slot: int, component: int, value: Value) -> None:
+        self.scatter_calls.append((int(node_slot), int(component)))
+        self.ops.append(("sc", int(node_slot), int(component), value.payload))
+
+    # -- parameters ------------------------------------------------------
+    def runtime_param(self, name: str) -> Value:
+        return self.const(self.ctx.params[name])
+
+    def runtime_flag(self, name: str) -> int:
+        # Python-level control flow: the flag value specializes the tape,
+        # which is why tapes are keyed on the full kernel-params dict.
+        return int(self.ctx.params[name])
+
+    def fence(self, label: str = "") -> None:
+        pass
+
+    def note_value_death(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Compilation: DCE + linear-scan buffer-arena allocation
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TapeReport:
+    """Static statistics of one compiled kernel tape.
+
+    ``buffers_live`` is the size of the lane-width buffer arena -- the
+    numpy analog of the register count :class:`TracingBackend` estimates
+    with ``peak_live_values``.
+    """
+
+    variant: str
+    ops_recorded: int
+    ops_live: int
+    dce_removed: int
+    folded_scalars: int
+    gather_reuses: int
+    scatter_calls: int
+    buffers_live: int
+
+    def arena_bytes(self, nlane: int) -> int:
+        """Arena footprint for ``nlane`` stacked lanes (float64)."""
+        return self.buffers_live * nlane * 8
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"variant                  : {self.variant}",
+                f"ops recorded / live      : {self.ops_recorded} / {self.ops_live}",
+                f"dead ops removed         : {self.dce_removed}",
+                f"scalars folded           : {self.folded_scalars}",
+                f"gathers CSE'd            : {self.gather_reuses}",
+                f"scatter calls            : {self.scatter_calls}",
+                f"buffers live (arena)     : {self.buffers_live}",
+            ]
+        )
+
+
+def _op_inputs(op: tuple) -> Tuple[Ref, ...]:
+    tag = op[0]
+    if tag == "bin":
+        return (op[2], op[3])
+    if tag == "un":
+        return (op[2],)
+    if tag == "sel":
+        return (op[1], op[2], op[3])
+    if tag == "sc":
+        return (op[3],)
+    return ()  # gc / gf
+
+
+@dataclasses.dataclass(frozen=True)
+class TapeProgram:
+    """A compiled, picklable kernel tape.
+
+    ``ops`` use integer opcodes; every vector reference is a buffer-arena
+    row index in ``[0, nbufs)`` and every scalar reference is a folded
+    ``np.float64``:
+
+    ==  ==========================================  =========================
+    op  operands                                    semantics
+    ==  ==========================================  =========================
+    0   ``(ufunc, a, b, out)``                      ``ufunc(a, b, out=out)``
+    1   ``(ufunc, a, out)``                         ``ufunc(a, out=out)``
+    2   ``(x, a, b, thresh, out)``                  ``where(x > thresh, a, b)``
+    3   ``(node_slot, component, out)``             coordinate gather
+    4   ``(field, node_slot, component, out)``      field gather
+    5   ``(call, node_slot, component, src)``       deferred RHS scatter
+    ==  ==========================================  =========================
+    """
+
+    variant: str
+    params_key: Tuple[Tuple[str, float], ...]
+    ops: Tuple[tuple, ...]
+    nbufs: int
+    scatter_calls: Tuple[Tuple[int, int], ...]
+    report: TapeReport
+    nnode_per_element: int = 4
+
+
+def compile_tape(recorder: RecordingBackend, variant: str, params_key) -> TapeProgram:
+    """Lower a recorded tape: DCE, liveness, arena assignment."""
+    ops = recorder.ops
+    # -- dead-code elimination backwards from the scatter roots ----------
+    needed: set = set()
+    keep = [False] * len(ops)
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op[0] == "sc" or (not _is_scalar(op[-1]) and op[-1] in needed):
+            keep[i] = True
+            for ref in _op_inputs(op):
+                if not _is_scalar(ref):
+                    needed.add(ref)
+    live_ops = [op for op, k in zip(ops, keep) if k]
+
+    # -- liveness: last read position of every vector ref ----------------
+    last_use: Dict[int, int] = {}
+    for j, op in enumerate(live_ops):
+        for ref in _op_inputs(op):
+            if not _is_scalar(ref):
+                last_use[ref] = j
+
+    # -- linear-scan arena allocation (LIFO free list) -------------------
+    # Dying inputs release their buffer *before* the output is allocated,
+    # so in-place ``out=`` aliasing happens naturally -- safe for every
+    # elementwise ufunc.  The one exception is the select op: its executor
+    # overwrites ``out`` with branch ``b`` before reading branch ``a``
+    # (mask-first order makes ``x``- and ``b``-aliasing safe), so ``a``'s
+    # buffer is protected until after the output is placed.
+    buf_of: Dict[int, int] = {}
+    free: List[int] = []
+    nbufs = 0
+    for j, op in enumerate(live_ops):
+        protected = None
+        if op[0] == "sel" and not _is_scalar(op[2]):
+            protected = op[2]
+        deferred = None
+        for ref in set(_op_inputs(op)):
+            if _is_scalar(ref) or last_use.get(ref) != j:
+                continue
+            if ref == protected:
+                deferred = ref
+            else:
+                free.append(buf_of[ref])
+        if op[0] != "sc":
+            out = op[-1]
+            if free:
+                buf_of[out] = free.pop()
+            else:
+                buf_of[out] = nbufs
+                nbufs += 1
+        if deferred is not None:
+            free.append(buf_of[deferred])
+
+    # -- lower to executable opcodes -------------------------------------
+    def ref_of(r: Ref):
+        return r if _is_scalar(r) else buf_of[r]
+
+    lowered: List[tuple] = []
+    call = 0
+    for op in live_ops:
+        tag = op[0]
+        if tag == "bin":
+            lowered.append(
+                (0, _UFUNC_NAMES[op[1]], ref_of(op[2]), ref_of(op[3]), buf_of[op[4]])
+            )
+        elif tag == "un":
+            lowered.append((1, _UFUNC_NAMES[op[1]], ref_of(op[2]), buf_of[op[3]]))
+        elif tag == "sel":
+            lowered.append(
+                (2, ref_of(op[1]), ref_of(op[2]), ref_of(op[3]), op[4], buf_of[op[5]])
+            )
+        elif tag == "gc":
+            lowered.append((3, op[1], op[2], buf_of[op[3]]))
+        elif tag == "gf":
+            lowered.append((4, op[1], op[2], op[3], buf_of[op[4]]))
+        elif tag == "sc":
+            lowered.append((5, call, op[1], op[2], ref_of(op[3])))
+            call += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown tape op {tag!r}")
+
+    report = TapeReport(
+        variant=variant,
+        ops_recorded=len(ops),
+        ops_live=len(live_ops),
+        dce_removed=len(ops) - len(live_ops),
+        folded_scalars=recorder.folded_scalars,
+        gather_reuses=recorder.gather_reuses,
+        scatter_calls=len(recorder.scatter_calls),
+        buffers_live=nbufs,
+    )
+    return TapeProgram(
+        variant=variant,
+        params_key=tuple(params_key),
+        ops=tuple(lowered),
+        nbufs=nbufs,
+        scatter_calls=tuple(recorder.scatter_calls),
+        report=report,
+        nnode_per_element=recorder.ctx.nnode_per_element,
+    )
+
+
+def record_program(
+    variant_name: str,
+    kernel_params: Dict[str, float],
+    nnode_per_element: int = 4,
+) -> TapeProgram:
+    """Record a variant once and compile it to a :class:`TapeProgram`.
+
+    The recording runs against a dummy single-lane context: kernels are
+    straight-line code whose only data-dependent control flow reads the
+    runtime flags in ``kernel_params``, so the captured tape is valid for
+    any element group of any mesh.
+    """
+    variant = get_variant(variant_name)
+    ctx = KernelContext(
+        connectivity=np.zeros((1, nnode_per_element), dtype=np.int64),
+        coords=np.zeros((1, 3)),
+        fields={"velocity": np.zeros((1, 3))},
+        rhs=np.zeros((1, 3)),
+        params=dict(kernel_params),
+        nnode_per_element=nnode_per_element,
+    )
+    params_key = tuple(sorted(kernel_params.items()))
+    with get_tracer().span("tape.record", variant=variant.name):
+        recorder = RecordingBackend(ctx)
+        variant.kernel(recorder, ctx)
+        program = compile_tape(recorder, variant.name, params_key)
+    registry = get_registry()
+    registry.counter("tape.records").inc()
+    registry.gauge(f"tape.buffers_live.{variant.name}").set(program.nbufs)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Stacked whole-mesh executor
+# ---------------------------------------------------------------------------
+
+
+class CompiledTape:
+    """Executable tape bound to one ``(plan, packing)`` pair.
+
+    All element groups are stacked into one ``L = ngroups * vector_dim``
+    lane axis; each tape op is a single ufunc call over the whole mesh.
+    Scatter values land in a preallocated ``(ngroups, ncalls, vector_dim)``
+    buffer whose C-order flattening reproduces the per-group temporal
+    order of the interpreted :class:`~repro.fem.plan.ScatterAccumulator`,
+    so the final ``bincount`` flush is bit-identical to it (and hence to
+    the seed ``np.add.at`` path).
+
+    The scatter index pattern is shared with the accumulator through
+    ``plan`` under the same ``(variant, vector_dim, permutation)`` key;
+    an interpreted sweep and a compiled sweep of the same configuration
+    therefore build the pattern once between them.
+    """
+
+    def __init__(
+        self,
+        program: TapeProgram,
+        plan,
+        packing,
+        perm_key=None,
+        tracer=NULL_TRACER,
+    ):
+        self.program = program
+        self.plan = plan
+        self.packing = packing
+        self.tracer = tracer
+        mesh = plan.mesh
+        self.nnode = int(mesh.nnode)
+        self.ncomp = 3
+        groups = packing.groups()
+        self.ngroups = len(groups)
+        self.vector_dim = int(packing.vector_dim)
+        nlane = self.ngroups * self.vector_dim
+        self.nlane = nlane
+        nnpe = program.nnode_per_element
+
+        conn3 = np.stack([g.connectivity for g in groups])  # (G, vd, nnpe)
+        conn_all = conn3.reshape(nlane, nnpe)
+        self._idx = [
+            np.ascontiguousarray(conn_all[:, s], dtype=np.int64)
+            for s in range(nnpe)
+        ]
+        self._ccols = [
+            np.ascontiguousarray(mesh.coords[:, c]) for c in range(3)
+        ]
+        # velocity columns are refreshed (copied, not reallocated) per call
+        self._vcols = np.empty((3, self.nnode))
+
+        # -- shared scatter index pattern --------------------------------
+        ncalls = len(program.scatter_calls)
+        self._ncalls = ncalls
+        trash = self.nnode * self.ncomp
+        signature = tuple(
+            (g, slot, comp)
+            for g in range(self.ngroups)
+            for (slot, comp) in program.scatter_calls
+        )
+        for op in program.ops:
+            if op[0] == 4 and op[1] != "velocity":
+                raise ValueError(
+                    f"compiled tape gathers unknown field {op[1]!r}; the "
+                    "stacked executor only binds 'velocity'"
+                )
+        key = (program.variant, self.vector_dim, perm_key)
+        pattern = plan.scatter_pattern(key)
+        registry = get_registry()
+        if pattern is None:
+            active3 = np.stack([g.active for g in groups])  # (G, vd)
+            indices = np.empty(
+                (self.ngroups, ncalls, self.vector_dim), dtype=np.int64
+            )
+            for c, (slot, comp) in enumerate(program.scatter_calls):
+                icol = conn3[:, :, slot] * self.ncomp + comp
+                np.copyto(indices[:, c, :], np.where(active3, icol, trash))
+            pattern = plan.store_scatter_pattern(
+                key, indices.reshape(-1), signature
+            )
+            registry.counter("scatter.pattern_builds").inc()
+        else:
+            if pattern.signature != signature:
+                raise RuntimeError(
+                    "scatter pattern mismatch: cached plan pattern does not "
+                    "match the compiled tape's call order"
+                )
+            registry.counter("scatter.pattern_reuses").inc()
+        self._pattern = pattern
+
+        # -- preallocated arena ------------------------------------------
+        self._arena = np.empty((max(program.nbufs, 1), nlane))
+        self._mask = np.empty(nlane, dtype=bool)
+        self._values = np.empty((self.ngroups, ncalls, self.vector_dim))
+        self._values_flat = self._values.reshape(-1)
+        # per-scatter (dst view, src view-or-scalar) pairs, bound once
+        self._scatters: List[tuple] = []
+        for op in program.ops:
+            if op[0] != 5:
+                continue
+            _, call, slot, comp, src = op
+            dst = self._values[:, call, :]
+            if not _is_scalar(src):
+                src = self._arena[src].reshape(self.ngroups, self.vector_dim)
+            self._scatters.append((dst, src))
+        self._ufuncs = {name: _ufunc(name) for name in _UFUNC_NAMES.values()}
+
+    @property
+    def report(self) -> TapeReport:
+        return self.program.report
+
+    def execute(
+        self, velocity: np.ndarray, rhs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Assemble the momentum RHS, accumulating into ``rhs`` in place."""
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if velocity.shape != (self.nnode, 3):
+            raise ValueError(
+                f"velocity must be ({self.nnode}, 3), got {velocity.shape}"
+            )
+        if rhs is None:
+            rhs = np.zeros((self.nnode, self.ncomp))
+        with self.tracer.span(
+            "tape.execute",
+            variant=self.program.variant,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+        ):
+            np.copyto(self._vcols, velocity.T)
+            arena = self._arena
+            mask = self._mask
+            scatters = self._scatters
+            ufuncs = self._ufuncs
+            isc = 0
+            for op in self.program.ops:
+                code = op[0]
+                if code == 0:
+                    _, uf, a, b, out = op
+                    ufuncs[uf](
+                        a if _is_scalar(a) else arena[a],
+                        b if _is_scalar(b) else arena[b],
+                        out=arena[out],
+                    )
+                elif code == 1:
+                    _, uf, a, out = op
+                    ufuncs[uf](a if _is_scalar(a) else arena[a], out=arena[out])
+                elif code == 2:
+                    _, x, a, b, thresh, out = op
+                    # mask first (x-aliasing safe), then b, then a-over-mask
+                    np.greater(arena[x], thresh, out=mask)
+                    dst = arena[out]
+                    if _is_scalar(b):
+                        dst[...] = b
+                    else:
+                        dst[...] = arena[b]
+                    np.copyto(dst, a if _is_scalar(a) else arena[a], where=mask)
+                elif code == 3:
+                    _, slot, comp, out = op
+                    np.take(self._ccols[comp], self._idx[slot], out=arena[out])
+                elif code == 4:
+                    _, field, slot, comp, out = op
+                    np.take(self._vcols[comp], self._idx[slot], out=arena[out])
+                else:  # code == 5: deferred scatter into the values buffer
+                    dst, src = scatters[isc]
+                    isc += 1
+                    if _is_scalar(src):
+                        dst[...] = src
+                    else:
+                        np.copyto(dst, src)
+            from ..fem.plan import flush_pattern
+
+            with self.tracer.span(
+                "scatter.flush", variant=self.program.variant
+            ):
+                flush_pattern(
+                    self._pattern, self._values_flat, rhs, self.nnode, self.ncomp
+                )
+        registry = get_registry()
+        registry.counter("tape.executions").inc()
+        registry.counter("tape.lanes_executed").inc(self.nlane)
+        return rhs
+
+
+# ---------------------------------------------------------------------------
+# Elemental executor (multiprocess workers)
+# ---------------------------------------------------------------------------
+
+
+class ElementalTape:
+    """Replay a :class:`TapeProgram` against packed per-element arrays.
+
+    This is the worker-side flavour: instead of mesh-wide gathers it reads
+    slices of the shared-memory-packed ``xel``/``uel`` arrays the
+    multiprocess runner already distributes, and instead of a deferred
+    global scatter it accumulates ``(n, nnode_per_element, 3)`` elemental
+    contributions (the parent performs the global reduction).  The arena
+    is lazily (re)bound to the chunk size and reused across repeats.
+    """
+
+    def __init__(self, program: TapeProgram) -> None:
+        self.program = program
+        self._n = -1
+        self._arena: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+
+    def _bind(self, n: int) -> None:
+        self._arena = np.empty((max(self.program.nbufs, 1), n))
+        self._mask = np.empty(n, dtype=bool)
+        self._n = n
+
+    def __call__(self, xel: np.ndarray, uel: np.ndarray) -> np.ndarray:
+        n = xel.shape[0]
+        if n != self._n:
+            self._bind(n)
+        arena = self._arena
+        mask = self._mask
+        nnpe = self.program.nnode_per_element
+        out_rhs = np.zeros((n, nnpe, 3))
+        for op in self.program.ops:
+            code = op[0]
+            if code == 0:
+                _, uf, a, b, out = op
+                _ufunc(uf)(
+                    a if _is_scalar(a) else arena[a],
+                    b if _is_scalar(b) else arena[b],
+                    out=arena[out],
+                )
+            elif code == 1:
+                _, uf, a, out = op
+                _ufunc(uf)(a if _is_scalar(a) else arena[a], out=arena[out])
+            elif code == 2:
+                _, x, a, b, thresh, out = op
+                np.greater(arena[x], thresh, out=mask)
+                dst = arena[out]
+                if _is_scalar(b):
+                    dst[...] = b
+                else:
+                    dst[...] = arena[b]
+                np.copyto(dst, a if _is_scalar(a) else arena[a], where=mask)
+            elif code == 3:
+                _, slot, comp, out = op
+                np.copyto(arena[out], xel[:, slot, comp])
+            elif code == 4:
+                _, field, slot, comp, out = op
+                np.copyto(arena[out], uel[:, slot, comp])
+            else:  # code == 5
+                _, call, slot, comp, src = op
+                out_rhs[:, slot, comp] += src if _is_scalar(src) else arena[src]
+        return out_rhs
+
+
+# ---------------------------------------------------------------------------
+# Plan-level cache
+# ---------------------------------------------------------------------------
+
+
+def tape_cache_key(
+    variant_name: str,
+    vector_dim: int,
+    permutation: Optional[np.ndarray],
+    kernel_params: Dict[str, float],
+) -> tuple:
+    perm_key = None if permutation is None else np.asarray(
+        permutation, dtype=np.int64
+    ).tobytes()
+    return (
+        variant_name.upper(),
+        int(vector_dim),
+        perm_key,
+        tuple(sorted(kernel_params.items())),
+    )
+
+
+def compiled_tape(
+    plan,
+    variant_name: str,
+    vector_dim: int,
+    permutation: Optional[np.ndarray] = None,
+    kernel_params: Optional[Dict[str, float]] = None,
+    tracer=None,
+) -> CompiledTape:
+    """The plan-cached :class:`CompiledTape` for one configuration.
+
+    Tapes are recorded once per ``(variant, vector_dim, permutation,
+    kernel params)`` and cached on the :class:`~repro.fem.plan.AssemblyPlan`;
+    mesh reorientation invalidates the plan (and with it every tape), so
+    the effective key is ``(variant, vector_dim, mesh version)`` as the
+    tape contract requires.
+    """
+    kernel_params = dict(kernel_params or {})
+    key = tape_cache_key(variant_name, vector_dim, permutation, kernel_params)
+    tape = plan.cached_tape(key)
+    registry = get_registry()
+    if tape is None:
+        with get_tracer().span(
+            "tape.compile", variant=key[0], vector_dim=int(vector_dim)
+        ):
+            program = record_program(key[0], kernel_params)
+            packing = plan.packing(int(vector_dim), permutation=permutation)
+            tape = CompiledTape(program, plan, packing, perm_key=key[2])
+        plan.store_tape(key, tape)
+        registry.counter("tape.compiles").inc()
+    else:
+        registry.counter("tape.cache_hits").inc()
+    if tracer is not None:
+        tape.tracer = tracer
+    return tape

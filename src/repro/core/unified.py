@@ -30,6 +30,7 @@ from ..physics.convection import ConvectiveForm
 from ..physics.turbulence import TurbulenceModel
 from .dsl import KernelContext, NumpyBackend, TracingBackend, TraceReport
 from .restructured import SPEC_DENSITY, SPEC_VISCOSITY, SPEC_VREMAN_C
+from .tape import compiled_tape
 from .variants import Variant, get_variant
 
 __all__ = [
@@ -100,8 +101,17 @@ class UnifiedAssembler:
         Physical parameters; must be compatible with the variant's
         specialization.
     vector_dim:
-        Element-group size.  Defaults to the CPU choice; pass
+        Element-group size.  ``None`` (default) resolves per variant at
+        assembly time: the plan's autotuned winner when one was recorded
+        (see :func:`repro.core.autotune.autotune_vector_dim`), else the
+        paper's CPU choice :data:`CPU_VECTOR_DIM`.  Pass
         :data:`GPU_VECTOR_DIM` to emulate the GPU launch configuration.
+    mode:
+        ``"interpreted"`` (default) runs the seed per-group
+        :class:`~repro.core.dsl.NumpyBackend` path; ``"compiled"`` replays
+        the plan-cached kernel tape (:mod:`repro.core.tape`) -- same op
+        order, same dtype, bit-identical RHS, several times faster.
+        Compiled mode requires ``use_plan=True``.
     tracer:
         Optional :class:`repro.obs.Tracer`; assemblies and kernel traces
         are recorded as ``assemble`` / ``kernel_trace`` spans.  Defaults to
@@ -119,29 +129,69 @@ class UnifiedAssembler:
 
     mesh: TetMesh
     params: AssemblyParams = dataclasses.field(default_factory=AssemblyParams)
-    vector_dim: int = CPU_VECTOR_DIM
+    vector_dim: Optional[int] = None
     tracer: object = dataclasses.field(default=NULL_TRACER, repr=False)
     permutation: Optional[np.ndarray] = dataclasses.field(default=None, repr=False)
     use_plan: bool = True
+    mode: str = "interpreted"
 
     def __post_init__(self) -> None:
+        if self.mode not in ("interpreted", "compiled"):
+            raise ValueError(
+                f"unknown assembly mode {self.mode!r}; "
+                "expected 'interpreted' or 'compiled'"
+            )
+        if self.mode == "compiled" and not self.use_plan:
+            raise ValueError(
+                "mode='compiled' requires use_plan=True: the kernel tape "
+                "is cached on the mesh's AssemblyPlan"
+            )
         if self.use_plan:
             self.plan = get_plan(self.mesh)
-            self.packing = self.plan.packing(
-                self.vector_dim, permutation=self.permutation
-            )
         else:
             self.plan = None
-            self.packing = ElementPacking(
-                self.mesh,
-                vector_dim=self.vector_dim,
-                permutation=self.permutation,
-            )
         self._kernel_params = self.params.as_kernel_params()
         perm = self.permutation
         self._perm_key = None if perm is None else np.asarray(
             perm, dtype=np.int64
         ).tobytes()
+        self._packings: dict = {}
+        #: packing at the init-time group size (explicit or the CPU
+        #: default); variants with a differing autotuned winner resolve
+        #: their own packing at assembly time.
+        self.packing = self._packing(
+            int(self.vector_dim)
+            if self.vector_dim is not None
+            else CPU_VECTOR_DIM
+        )
+
+    def resolve_vector_dim(self, variant_name: str) -> int:
+        """The group size a variant assembles with.
+
+        Explicit ``vector_dim`` wins; otherwise the plan's autotuned
+        winner for the variant (when recorded); otherwise the paper's CPU
+        default of :data:`CPU_VECTOR_DIM`.
+        """
+        if self.vector_dim is not None:
+            return int(self.vector_dim)
+        if self.plan is not None:
+            tuned = self.plan.tuned_vector_dim(variant_name)
+            if tuned is not None:
+                return int(tuned)
+        return CPU_VECTOR_DIM
+
+    def _packing(self, vector_dim: int) -> ElementPacking:
+        if self.plan is not None:
+            return self.plan.packing(vector_dim, permutation=self.permutation)
+        packing = self._packings.get(vector_dim)
+        if packing is None:
+            packing = ElementPacking(
+                self.mesh,
+                vector_dim=vector_dim,
+                permutation=self.permutation,
+            )
+            self._packings[vector_dim] = packing
+        return packing
 
     def _context(
         self, group, velocity: np.ndarray, rhs: np.ndarray, scatter=None
@@ -169,19 +219,36 @@ class UnifiedAssembler:
                 f"velocity must be ({self.mesh.nnode}, 3), got {velocity.shape}"
             )
         rhs = np.zeros((self.mesh.nnode, 3))
+        vector_dim = self.resolve_vector_dim(variant.name)
         with self.tracer.span(
             "assemble",
             variant=variant.name,
             nelem=int(self.mesh.nelem),
-            vector_dim=int(self.vector_dim),
+            vector_dim=vector_dim,
+            mode=self.mode,
             plan=bool(self.use_plan),
         ):
+            if self.mode == "compiled":
+                tape = compiled_tape(
+                    self.plan,
+                    variant.name,
+                    vector_dim,
+                    permutation=self.permutation,
+                    kernel_params=self._kernel_params,
+                    tracer=self.tracer,
+                )
+                return tape.execute(velocity, rhs)
+            packing = (
+                self.packing
+                if vector_dim == self.packing.vector_dim
+                else self._packing(vector_dim)
+            )
             acc = None
             if self.plan is not None:
                 acc = self.plan.accumulator(
-                    key=(variant.name, int(self.vector_dim), self._perm_key)
+                    key=(variant.name, vector_dim, self._perm_key)
                 )
-            for group in self.packing:
+            for group in packing:
                 if acc is not None:
                     acc.begin_group(group)
                 ctx = self._context(group, velocity, rhs, scatter=acc)

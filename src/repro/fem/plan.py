@@ -50,6 +50,7 @@ from .packing import ElementGroup, ElementPacking
 
 __all__ = [
     "segment_scatter",
+    "flush_pattern",
     "ScatterPlan",
     "GeometryCache",
     "ScatterAccumulator",
@@ -201,6 +202,30 @@ class _ScatterPattern:
     length: int
 
 
+def flush_pattern(
+    pattern: _ScatterPattern,
+    values: np.ndarray,
+    rhs: np.ndarray,
+    nnode: int,
+    ncomp: int = 3,
+) -> None:
+    """Reduce one sweep's buffered scatter ``values`` into ``rhs``.
+
+    The single shared flush of the deferred-scatter paths (the interpreted
+    :class:`ScatterAccumulator` and the compiled tape executor): one
+    ``bincount`` over the precomputed index pattern, sequential in buffer
+    order -- bit-identical to per-call ``np.add.at`` on a zero target.
+    The trash bin (one slot past the real ``nnode * ncomp`` bins) absorbs
+    padding-lane contributions.
+    """
+    registry = get_registry()
+    registry.counter("scatter.bincount_calls").inc()
+    registry.counter("scatter.values_reduced").inc(values.size)
+    trash = int(nnode) * int(ncomp)
+    out = np.bincount(pattern.indices, weights=values, minlength=trash + 1)
+    rhs += out[:trash].reshape(nnode, ncomp)
+
+
 class ScatterAccumulator:
     """Deferred global-RHS scatter for the DSL execution backend.
 
@@ -297,12 +322,7 @@ class ScatterAccumulator:
                 )
             values = self._values
             registry.counter("scatter.pattern_reuses").inc()
-        registry.counter("scatter.bincount_calls").inc()
-        registry.counter("scatter.values_reduced").inc(values.size)
-        out = np.bincount(
-            pattern.indices, weights=values, minlength=self._trash + 1
-        )
-        rhs += out[: self._trash].reshape(self._nnode, self._ncomp)
+        flush_pattern(pattern, values, rhs, self._nnode, self._ncomp)
 
 
 class AssemblyPlan:
@@ -326,6 +346,8 @@ class AssemblyPlan:
         self._packed_coords: Optional[np.ndarray] = None
         self._packings: Dict[Tuple, ElementPacking] = {}
         self._patterns: Dict[Tuple, _ScatterPattern] = {}
+        self._tapes: Dict[Tuple, object] = {}
+        self._tuned_vector_dim: Dict[str, int] = {}
         get_registry().counter("plan.builds").inc()
 
     # -- cached geometry -------------------------------------------------
@@ -393,6 +415,58 @@ class AssemblyPlan:
             self._packings[key] = packing
             get_registry().counter("plan.packing_builds").inc()
         return packing
+
+    # -- scatter patterns ---------------------------------------------------
+    def scatter_pattern(self, key: Tuple) -> Optional[_ScatterPattern]:
+        """Cached scatter index pattern for a sweep key, or ``None``."""
+        return self._patterns.get(key)
+
+    def store_scatter_pattern(
+        self,
+        key: Tuple,
+        indices: np.ndarray,
+        signature: Tuple[Tuple[int, int, int], ...],
+    ) -> _ScatterPattern:
+        """Register a sweep's scatter index pattern and return it.
+
+        Used by the compiled tape executor, which builds the pattern
+        vectorized instead of call-by-call; the stored pattern is the same
+        object the interpreted :class:`ScatterAccumulator` would have
+        built (same key, same signature, same flattened index order), so
+        interpreted and compiled sweeps of one configuration share it.
+        """
+        indices = _readonly(np.ascontiguousarray(indices, dtype=np.int64))
+        pattern = _ScatterPattern(
+            indices=indices,
+            signature=tuple(signature),
+            length=int(indices.shape[0]),
+        )
+        self._patterns[key] = pattern
+        return pattern
+
+    # -- compiled tapes -----------------------------------------------------
+    def cached_tape(self, key: Tuple):
+        """Cached compiled kernel tape for ``key``, or ``None``.
+
+        Tapes live on the plan so mesh reorientation (which invalidates
+        the plan through :func:`get_plan`) invalidates every tape with it.
+        """
+        return self._tapes.get(key)
+
+    def store_tape(self, key: Tuple, tape) -> None:
+        self._tapes[key] = tape
+
+    # -- autotuned vector_dim -----------------------------------------------
+    def tuned_vector_dim(self, variant: str) -> Optional[int]:
+        """Autotuned ``VECTOR_DIM`` winner for a variant, if recorded."""
+        return self._tuned_vector_dim.get(variant.upper())
+
+    def set_tuned_vector_dim(self, variant: str, vector_dim: int) -> None:
+        """Persist an autotuned ``VECTOR_DIM`` winner on the plan."""
+        self._tuned_vector_dim[variant.upper()] = int(vector_dim)
+        get_registry().gauge(
+            f"tape.tuned_vector_dim.{variant.upper()}"
+        ).set(int(vector_dim))
 
     # -- deferred DSL scatter ---------------------------------------------
     def accumulator(self, key: Tuple, ncomp: int = 3) -> ScatterAccumulator:

@@ -137,14 +137,29 @@ def _assemble_chunk(
     params: AssemblyParams,
     repeats: int,
     traced: bool,
+    program=None,
 ) -> Tuple[float, List[dict]]:
-    """Assemble one element chunk ``repeats`` times; returns (seconds, spans)."""
+    """Assemble one element chunk ``repeats`` times; returns (seconds, spans).
+
+    With a compiled :class:`~repro.core.tape.TapeProgram` the chunk runs
+    through an :class:`~repro.core.tape.ElementalTape` whose buffer arena
+    is bound once and reused across all repeats; otherwise the vectorized
+    reference :func:`~repro.physics.momentum.element_rhs` runs.
+    """
     tracer = Tracer(pid=rank) if traced else NULL_TRACER
+    tape = None
+    if program is not None:
+        from ..core.tape import ElementalTape
+
+        tape = ElementalTape(program)
     t0 = time.perf_counter()
     with tracer.span("rank", rank=rank, nelem=int(len(xel)), repeats=repeats):
         for rep in range(repeats):
             with tracer.span("assemble_chunk", rep=rep):
-                element_rhs(xel, uel, params)
+                if tape is not None:
+                    tape(xel, uel)
+                else:
+                    element_rhs(xel, uel, params)
     return time.perf_counter() - t0, tracer.export()
 
 
@@ -152,10 +167,22 @@ def _worker_assemble(args: Tuple) -> Tuple[float, List[dict]]:
     """Pool worker: map a zero-copy view of the shared element arrays and
     assemble the ``[start, stop)`` chunk (module-level for pickling).
 
-    Only scalars cross the pickle boundary; the O(nelem) coordinate and
+    Only scalars cross the pickle boundary (plus, in compiled mode, the
+    one-time picklable tape program); the O(nelem) coordinate and
     velocity packs live in ``multiprocessing.shared_memory``.
     """
-    (rank, x_name, u_name, nelem, start, stop, params, repeats, traced) = args
+    (
+        rank,
+        x_name,
+        u_name,
+        nelem,
+        start,
+        stop,
+        params,
+        repeats,
+        traced,
+        program,
+    ) = args
     # Pool workers share the parent's resource-tracker process, so this
     # attach-side registration is an idempotent no-op and the parent's
     # single unlink keeps the tracker cache clean -- do NOT unregister
@@ -166,7 +193,13 @@ def _worker_assemble(args: Tuple) -> Tuple[float, List[dict]]:
         xall = np.ndarray((nelem, 4, 3), dtype=np.float64, buffer=x_shm.buf)
         uall = np.ndarray((nelem, 4, 3), dtype=np.float64, buffer=u_shm.buf)
         return _assemble_chunk(
-            rank, xall[start:stop], uall[start:stop], params, repeats, traced
+            rank,
+            xall[start:stop],
+            uall[start:stop],
+            params,
+            repeats,
+            traced,
+            program,
         )
     finally:
         del xall, uall
@@ -191,6 +224,12 @@ class MultiprocessRunner:
     packed element arrays are exposed to it through shared memory --
     ``runner.shm_bytes_shared`` / ``runner.pickle_bytes_saved`` counters
     record how much data stayed out of the pickle stream.
+
+    ``assembly_mode="compiled"`` records the selected DSL ``variant``
+    once in the parent and ships the picklable tape program to every
+    worker, which replays it with a reusable buffer arena
+    (:class:`~repro.core.tape.ElementalTape`) instead of running the
+    reference einsum path.
     """
 
     def __init__(
@@ -201,12 +240,21 @@ class MultiprocessRunner:
         seed: int = 0,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        assembly_mode: str = "reference",
+        variant: str = "RSP",
     ) -> None:
+        if assembly_mode not in ("reference", "compiled"):
+            raise ValueError(
+                f"unknown assembly_mode {assembly_mode!r}; "
+                "expected 'reference' or 'compiled'"
+            )
         self.mesh = mesh
         self.params = params
         self.repeats = int(repeats)
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._metrics = metrics
+        self.assembly_mode = assembly_mode
+        self.variant = variant.upper()
         rng = np.random.default_rng(seed)
         self.velocity = 0.1 * rng.standard_normal((mesh.nnode, 3))
 
@@ -218,6 +266,13 @@ class MultiprocessRunner:
         uall = self.velocity[self.mesh.connectivity]
         traced = bool(self.tracer.enabled)
         nelem = self.mesh.nelem
+        program = None
+        if self.assembly_mode == "compiled":
+            from ..core.tape import record_program
+
+            program = record_program(
+                self.variant, self.params.as_kernel_params()
+            )
 
         x_shm = shared_memory.SharedMemory(create=True, size=xall.nbytes)
         u_shm = shared_memory.SharedMemory(create=True, size=uall.nbytes)
@@ -246,6 +301,7 @@ class MultiprocessRunner:
                         self.params,
                         self.repeats,
                         traced,
+                        program,
                     )
                     for rank in range(w)
                 ]
@@ -254,7 +310,13 @@ class MultiprocessRunner:
                     if w == 1:
                         results = [
                             _assemble_chunk(
-                                0, xall, uall, self.params, self.repeats, traced
+                                0,
+                                xall,
+                                uall,
+                                self.params,
+                                self.repeats,
+                                traced,
+                                program,
                             )
                         ]
                     else:

@@ -30,10 +30,39 @@ from ..fem.mesh import TetMesh
 from ..fem.plan import get_plan
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import NULL_TRACER
-from .momentum import AssemblyParams, assemble_momentum_rhs
+from .momentum import AssemblyParams, assemble_momentum_rhs, kernel_rhs_assembler
 from .pressure import PressureSolver
 
-__all__ = ["StepReport", "FractionalStepSolver", "cfl_time_step"]
+__all__ = [
+    "StepReport",
+    "FractionalStepSolver",
+    "cfl_time_step",
+    "resolve_assembler",
+]
+
+
+def resolve_assembler(
+    spec: str, mesh: TetMesh, params: AssemblyParams, tracer=None
+) -> Callable:
+    """Resolve an assembler spec string to an RHS assembly callable.
+
+    ``"reference"`` is the vectorized numpy reference; ``"compiled"`` and
+    ``"interpreted"`` run the DSL kernel path (default variant RSP) in the
+    corresponding :class:`~repro.core.unified.UnifiedAssembler` mode; a
+    ``":<VARIANT>"`` suffix (e.g. ``"compiled:RS"``) picks the variant.
+    """
+    text = spec.strip().lower()
+    if text == "reference":
+        return assemble_momentum_rhs
+    mode, _, variant = text.partition(":")
+    if mode not in ("compiled", "interpreted"):
+        raise ValueError(
+            f"unknown assembler spec {spec!r}; expected 'reference', "
+            "'compiled[:VARIANT]' or 'interpreted[:VARIANT]'"
+        )
+    return kernel_rhs_assembler(
+        mesh, params, variant=(variant or "RSP"), mode=mode, tracer=tracer
+    )
 
 #: classical low-storage 3-stage Runge-Kutta coefficients
 _RK3_COEFFS = (1.0 / 3.0, 0.5, 1.0)
@@ -81,7 +110,12 @@ class FractionalStepSolver:
         RHS assembly callable ``(mesh, velocity, params) -> (nnode, 3)``;
         defaults to the vectorized reference.  Pass a closure around
         :meth:`repro.core.unified.UnifiedAssembler.assemble` to drive the
-        DSL kernel variants end-to-end.
+        DSL kernel variants end-to-end -- or a string spec:
+        ``"reference"`` (the default path), ``"compiled"`` /
+        ``"interpreted"`` (DSL assembly of the default RSP variant), or
+        ``"compiled:RS"`` / ``"interpreted:B"`` etc. to pick the variant,
+        resolved through
+        :func:`~repro.physics.momentum.kernel_rhs_assembler`.
     sweeps_per_step:
         Runge-Kutta stages (3, matching the paper's runtime convention).
     tracer:
@@ -110,6 +144,10 @@ class FractionalStepSolver:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._metrics = metrics
         self.dirichlet = list(dirichlet)
+        if isinstance(assemble, str):
+            assemble = resolve_assembler(
+                assemble, mesh, params, tracer=tracer
+            )
         self.assemble = assemble or assemble_momentum_rhs
         self.pressure = pressure_solver or PressureSolver(mesh)
         self.sweeps = int(sweeps_per_step)

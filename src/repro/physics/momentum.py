@@ -38,7 +38,12 @@ from ..fem.reference import TET04
 from .convection import ConvectiveForm, convective_term
 from .turbulence import TurbulenceModel, VREMAN_C, eddy_viscosity
 
-__all__ = ["AssemblyParams", "assemble_momentum_rhs", "element_rhs"]
+__all__ = [
+    "AssemblyParams",
+    "assemble_momentum_rhs",
+    "element_rhs",
+    "kernel_rhs_assembler",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,3 +169,48 @@ def assemble_momentum_rhs(
     uel = velocity[mesh.connectivity]
     elem = element_rhs(xel, uel, params, geometry=plan.geometry())
     return plan.scatter.scatter(elem.reshape(-1, 3))
+
+
+def kernel_rhs_assembler(
+    mesh: TetMesh,
+    params: AssemblyParams,
+    variant: str = "RSP",
+    mode: str = "compiled",
+    vector_dim=None,
+    tracer=None,
+):
+    """Build a time-integrator-compatible RHS assembler over a DSL variant.
+
+    Returns a callable ``assemble(mesh, velocity, params) -> (nnode, 3)``
+    with the signature :class:`~repro.physics.fractional_step.FractionalStepSolver`
+    expects, backed by a :class:`~repro.core.unified.UnifiedAssembler` in
+    the chosen ``mode`` (``"compiled"`` replays the plan-cached kernel
+    tape -- zero Python-level allocation in steady state; ``"interpreted"``
+    runs the seed per-group backend).  The assembler is bound to ``mesh``
+    and ``params`` at construction; calling it with different ones is a
+    configuration error and raises.
+    """
+    from ..core.unified import UnifiedAssembler
+
+    kwargs = {"vector_dim": vector_dim, "mode": mode}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    assembler = UnifiedAssembler(mesh, params, **kwargs)
+    variant = variant.upper()
+
+    def assemble(m: TetMesh, velocity: np.ndarray, p: AssemblyParams):
+        if m is not mesh:
+            raise ValueError(
+                "kernel_rhs_assembler is bound to the mesh it was built "
+                "for; rebuild it for a different mesh"
+            )
+        if p != params:
+            raise ValueError(
+                "kernel_rhs_assembler is bound to its construction params "
+                f"(got {p!r}, expected {params!r}); rebuild it"
+            )
+        return assembler.assemble(variant, velocity)
+
+    assemble.assembler = assembler  # introspection / tests
+    assemble.variant = variant
+    return assemble
