@@ -1,0 +1,305 @@
+"""Fault-recovery overhead benchmark (the chaos campaign's cost sheet).
+
+Four scenarios, each run clean and with one injected fault, measuring the
+wall-clock price of the recovery machinery:
+
+* ``worker_crash``   -- supervised pool: crash rank 1, retry on a
+  respawned pool; per-chunk checksums must match the clean run bitwise.
+* ``integrator_nan`` -- NaN in one RHS sweep: rollback + dt halving.
+* ``solver_breakdown`` -- sabotaged CG matvec: deflation rescue (rung 1).
+* ``tape_corruption`` -- corrupted compiled assembly: degradation to the
+  interpreted rung, validated against the reference.
+
+Every scenario runs under a *private* metrics registry (installed
+process-wide for its duration) so the bench session's registry stays
+fault-free -- ``check_regression.py`` treats nonzero recovery counters in
+``BENCH_variants.json`` as silent degradation.  Results are written to
+``BENCH_faults.json`` plus a ``FAULT_events.jsonl`` fault-event log
+(honouring ``REPRO_BENCH_DIR``), and summary rows ride along in
+``BENCH_variants.json`` via the ``bench_extra`` fixture.
+
+Runnable standalone::
+
+    PYTHONPATH=src REPRO_FAULT_SEED=1234 python benchmarks/bench_faults.py
+"""
+
+import contextlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fem import box_tet_mesh  # noqa: E402
+from repro.obs import MetricsRegistry, set_registry, write_bench_json  # noqa: E402
+from repro.parallel import MultiprocessRunner, WorkerPolicy  # noqa: E402
+from repro.physics import AssemblyParams  # noqa: E402
+from repro.physics.fractional_step import (  # noqa: E402
+    FractionalStepSolver,
+    cfl_time_step,
+)
+from repro.physics.momentum import assemble_momentum_rhs  # noqa: E402
+from repro.physics.pressure import PressureSolver  # noqa: E402
+from repro.resilience import (  # noqa: E402
+    FaultPlan,
+    ResilientAssembler,
+    fault_seed_from_env,
+)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+POLICY = WorkerPolicy(task_timeout=30.0, max_retries=2, backoff_base=0.01)
+
+
+@contextlib.contextmanager
+def scoped_registry(registry: MetricsRegistry):
+    """Install ``registry`` process-wide for the scenario's duration.
+
+    Fault accounting (``resilience.faults_injected``) always goes to the
+    process-wide registry; scoping it keeps chaos counters out of the
+    bench session's fault-free export.
+    """
+    from repro.obs import get_registry
+
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def scenario_worker_crash(seed: int):
+    mesh = box_tet_mesh(6, 6, 6)
+    params = AssemblyParams()
+
+    clean = MultiprocessRunner(mesh, params, repeats=1, policy=POLICY)
+    _, t_clean = _timed(lambda: clean.measure([2]))
+
+    plan = FaultPlan.single("worker", "crash", rank=1, index=0, seed=seed)
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        runner = MultiprocessRunner(
+            mesh,
+            params,
+            repeats=1,
+            policy=POLICY,
+            fault_plan=plan,
+            metrics=registry,
+        )
+        _, t_fault = _timed(lambda: runner.measure([2]))
+    recovered = runner.chunk_checksums[2] == clean.chunk_checksums[2]
+    return _row("worker_crash", t_clean, t_fault, recovered, registry, plan)
+
+
+def scenario_integrator_nan(seed: int):
+    mesh = box_tet_mesh(4, 4, 4)
+    params = AssemblyParams()
+    rng = np.random.default_rng(7)
+    u0 = 0.05 * rng.standard_normal((mesh.nnode, 3))
+
+    def run(plan, registry):
+        solver = FractionalStepSolver(
+            mesh, params, fault_plan=plan, metrics=registry
+        )
+        solver.set_velocity(u0)
+        dt = cfl_time_step(mesh, solver.velocity, 0.4)
+        for _ in range(3):
+            solver.advance(dt)
+        return solver
+
+    _, t_clean = _timed(lambda: run(None, MetricsRegistry()))
+    plan = FaultPlan.single("momentum_rhs", "nan", seed=seed, index=3)
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        solver, t_fault = _timed(lambda: run(plan, registry))
+    recovered = bool(np.isfinite(solver.velocity).all()) and (
+        solver.step_count == 3
+    )
+    return _row("integrator_nan", t_clean, t_fault, recovered, registry, plan)
+
+
+def scenario_solver_breakdown(seed: int):
+    mesh = box_tet_mesh(4, 4, 4)
+    params = AssemblyParams()
+    rng = np.random.default_rng(11)
+    u = 0.05 * rng.standard_normal((mesh.nnode, 3))
+
+    clean_solver = PressureSolver(mesh)
+    clean, t_clean = _timed(
+        lambda: clean_solver.solve(u, params.density, dt=0.01)
+    )
+    plan = FaultPlan.single("cg", "breakdown", seed=seed)
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        solver = PressureSolver(mesh, fault_plan=plan, metrics=registry)
+        rescued, t_fault = _timed(
+            lambda: solver.solve(u, params.density, dt=0.01)
+        )
+    recovered = bool(
+        rescued.converged
+        and rescued.rung == 1
+        and np.abs(rescued.x - clean.x).max() < 1e-6
+    )
+    return _row(
+        "solver_breakdown", t_clean, t_fault, recovered, registry, plan
+    )
+
+
+def scenario_tape_corruption(seed: int):
+    mesh = box_tet_mesh(4, 4, 4)
+    params = AssemblyParams()
+    rng = np.random.default_rng(11)
+    u = 0.05 * rng.standard_normal((mesh.nnode, 3))
+    ref = assemble_momentum_rhs(mesh, u, params)
+
+    clean_asm = ResilientAssembler(mesh, params, metrics=MetricsRegistry())
+    _, t_clean = _timed(lambda: clean_asm(mesh, u, params))
+
+    plan = FaultPlan.single("assembler", "nan", seed=seed)
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        asm = ResilientAssembler(
+            mesh, params, fault_plan=plan, metrics=registry
+        )
+        rhs, t_fault = _timed(lambda: asm(mesh, u, params))
+    recovered = bool(
+        asm.mode == "interpreted"
+        and np.allclose(rhs, ref, rtol=1e-8, atol=1e-12)
+    )
+    return _row(
+        "tape_corruption", t_clean, t_fault, recovered, registry, plan
+    )
+
+
+def _row(name, t_clean, t_fault, recovered, registry, plan):
+    counters = {
+        k: v["value"]
+        for k, v in registry.snapshot().items()
+        if k.startswith("resilience.") and v["value"]
+    }
+    row = {
+        "benchmark": "faults",
+        "variant": name,
+        "clean_ms": t_clean * 1e3,
+        "faulted_ms": t_fault * 1e3,
+        "recovery_overhead": (t_fault / t_clean) - 1.0 if t_clean else 0.0,
+        "recovered": bool(recovered),
+        "counters": counters,
+    }
+    return row, registry, list(plan.events)
+
+
+SCENARIOS = (
+    scenario_worker_crash,
+    scenario_integrator_nan,
+    scenario_solver_breakdown,
+    scenario_tape_corruption,
+)
+
+
+def run_scenarios(seed: int):
+    """Run every chaos scenario; returns (rows, merged registry, events)."""
+    rows, events = [], []
+    merged = MetricsRegistry()
+    for scenario in SCENARIOS:
+        row, registry, plan_events = scenario(seed)
+        rows.append(row)
+        merged.merge(registry)
+        events.extend(plan_events)
+    return rows, merged, events
+
+
+def write_fault_artifacts(outdir: str, rows, registry, events, seed: int):
+    """Write ``BENCH_faults.json`` + ``FAULT_events.jsonl``; returns paths."""
+    os.makedirs(outdir, exist_ok=True)
+    bench_path = os.path.join(outdir, "BENCH_faults.json")
+    write_bench_json(
+        bench_path,
+        rows,
+        metrics=registry,
+        meta={"source": "bench_faults", "fault_seed": seed},
+    )
+    events_path = os.path.join(outdir, "FAULT_events.jsonl")
+    with open(events_path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return bench_path, events_path
+
+
+# -- pytest entry ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fault_results():
+    return run_scenarios(fault_seed_from_env())
+
+
+def test_every_fault_scenario_recovers(fault_results, bench_extra, capsys):
+    rows, registry, events = fault_results
+    seed = fault_seed_from_env()
+    outdir = os.environ.get("REPRO_BENCH_DIR", str(_REPO_ROOT))
+    paths = write_fault_artifacts(outdir, rows, registry, events, seed)
+    bench_extra.extend(rows)
+    with capsys.disabled():
+        print()
+        for row in rows:
+            print(
+                f"faults/{row['variant']:>17s}: clean {row['clean_ms']:8.1f} ms, "
+                f"faulted {row['faulted_ms']:8.1f} ms "
+                f"({row['recovery_overhead']:+.0%}), "
+                f"recovered={row['recovered']}"
+            )
+        print(f"fault artifacts: {', '.join(paths)}")
+    assert all(row["recovered"] for row in rows)
+    assert len(events) >= len(rows)  # every scenario logged its fault
+
+
+def test_fault_counters_stay_scoped(fault_results):
+    """Scenario registries must not leak into the session registry."""
+    from repro.obs import get_registry
+
+    _, merged, _ = fault_results
+    snap = merged.snapshot()
+    assert snap["resilience.faults_injected"]["value"] >= len(SCENARIOS)
+    session = get_registry().snapshot()
+    for name, data in session.items():
+        if name.startswith("resilience.") and data["kind"] == "counter":
+            assert data["value"] == 0.0, f"{name} leaked into session registry"
+
+
+def main() -> None:
+    seed = fault_seed_from_env()
+    rows, registry, events = run_scenarios(seed)
+    for row in rows:
+        status = "recovered" if row["recovered"] else "FAILED"
+        print(
+            f"{row['variant']:>17s}: clean {row['clean_ms']:8.1f} ms, "
+            f"faulted {row['faulted_ms']:8.1f} ms "
+            f"({row['recovery_overhead']:+.0%}) -- {status}"
+        )
+        for name, value in sorted(row["counters"].items()):
+            print(f"{'':>19s}{name} = {value:g}")
+    outdir = os.environ.get("REPRO_BENCH_DIR", str(_REPO_ROOT))
+    paths = write_fault_artifacts(outdir, rows, registry, events, seed)
+    print("artifacts:", *paths)
+    if not all(row["recovered"] for row in rows):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.obs import read_bench_json  # noqa: E402
+from repro.resilience import RECOVERY_COUNTERS  # noqa: E402
 
 
 #: wall-clock and model-runtime fields compared between runs
@@ -88,6 +89,27 @@ def compare(bench: dict, baseline: dict, threshold: float) -> list:
     return regressions
 
 
+def silent_degradations(bench: dict) -> list:
+    """Recovery counters that fired in a run that injected no faults.
+
+    A fault-free bench session must serve every request from the fast
+    path; nonzero retries/fallbacks/rollbacks/escalations with
+    ``resilience.faults_injected == 0`` mean the run silently lost a fast
+    path (e.g. a kernel tape failing validation) -- exactly the loss the
+    wall-clock thresholds are too noisy to catch.
+    """
+    metrics = bench.get("metrics", {})
+
+    def value(name: str) -> float:
+        return float(metrics.get(name, {}).get("value") or 0.0)
+
+    if value("resilience.faults_injected") > 0:
+        return []  # a chaos run: recovery activity is the point
+    return [
+        (name, value(name)) for name in RECOVERY_COUNTERS if value(name) > 0
+    ]
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", default=str(_REPO_ROOT / "BENCH_variants.json"))
@@ -126,31 +148,44 @@ def main(argv=None) -> int:
         emit(f"check_regression: no fresh bench results ({exc}); skipping")
         flush_report()
         return 0
+
+    # silent degradation needs no baseline: a fault-free run must not
+    # have exercised any recovery path.
+    degraded = silent_degradations(bench)
+    if degraded:
+        emit(
+            "check_regression: WARNING -- recovery counters nonzero in a "
+            "fault-free run (a fast path was silently lost):"
+        )
+        for name, value in degraded:
+            emit(f"  {name:>40s} = {value:g}")
+
     try:
         baseline = read_bench_json(args.baseline)
     except (OSError, ValueError) as exc:
-        emit(f"check_regression: no baseline ({exc}); skipping")
+        emit(f"check_regression: no baseline ({exc}); skipping comparison")
         flush_report()
-        return 0
+        return 1 if (args.strict and degraded) else 0
 
     regressions = compare(bench, baseline, args.threshold)
-    if not regressions:
+    if not regressions and not degraded:
         emit(
             f"check_regression: OK -- no >{args.threshold:.0%} regressions "
-            f"across {len(_by_key(bench))} entries"
+            f"across {len(_by_key(bench))} entries, no silent degradation"
         )
         flush_report()
         return 0
 
-    emit(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
     wall_regressed = False
-    for label, field, old, new, ratio in regressions:
-        emit(
-            f"  {label:>20s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
-            f"({ratio - 1.0:+.0%})"
-        )
-        wall_regressed |= field in ("wall_ms", "compiled_ms")
-    if args.strict and wall_regressed:
+    if regressions:
+        emit(f"check_regression: WARNING -- >{args.threshold:.0%} regressions:")
+        for label, field, old, new, ratio in regressions:
+            emit(
+                f"  {label:>20s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
+                f"({ratio - 1.0:+.0%})"
+            )
+            wall_regressed |= field in ("wall_ms", "compiled_ms")
+    if args.strict and (wall_regressed or degraded):
         flush_report()
         return 1
     emit("check_regression: non-fatal (pass --strict to enforce)")

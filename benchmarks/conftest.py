@@ -38,6 +38,14 @@ def bench_tracer():
 @pytest.fixture(scope="session")
 def bench_registry():
     registry = set_registry(MetricsRegistry())
+    # pre-register every resilience counter at zero: the fault-free bench
+    # session then exports an explicit all-zero baseline, and
+    # check_regression.py can flag nonzero recovery counters (silent
+    # degradation) without guessing at missing keys.
+    from repro.resilience import RESILIENCE_COUNTERS
+
+    for name in RESILIENCE_COUNTERS:
+        registry.counter(name)
     yield registry
     set_registry(None)
 

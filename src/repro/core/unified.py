@@ -125,6 +125,11 @@ class UnifiedAssembler:
         into a single precomputed ``bincount`` reduction.  Disable to run
         the seed per-call ``np.add.at`` path (bit-identical results; the
         equivalence tests rely on this switch).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; an
+        ``("assembler", "nan"/"inf")`` fault corrupts one lane of the
+        assembled RHS so the chaos suite can force a degradation of
+        :class:`~repro.resilience.ladders.ResilientAssembler`.
     """
 
     mesh: TetMesh
@@ -134,6 +139,7 @@ class UnifiedAssembler:
     permutation: Optional[np.ndarray] = dataclasses.field(default=None, repr=False)
     use_plan: bool = True
     mode: str = "interpreted"
+    fault_plan: Optional[object] = dataclasses.field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in ("interpreted", "compiled"):
@@ -207,6 +213,10 @@ class UnifiedAssembler:
             scatter=scatter,
         )
 
+    def _maybe_corrupt(self, rhs: np.ndarray) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.corrupt("assembler", rhs)
+
     def assemble(
         self, variant_name: str, velocity: np.ndarray
     ) -> np.ndarray:
@@ -237,7 +247,9 @@ class UnifiedAssembler:
                     kernel_params=self._kernel_params,
                     tracer=self.tracer,
                 )
-                return tape.execute(velocity, rhs)
+                rhs = tape.execute(velocity, rhs)
+                self._maybe_corrupt(rhs)
+                return rhs
             packing = (
                 self.packing
                 if vector_dim == self.packing.vector_dim
@@ -257,6 +269,7 @@ class UnifiedAssembler:
             if acc is not None:
                 with self.tracer.span("scatter.flush", variant=variant.name):
                     acc.finalize(rhs)
+            self._maybe_corrupt(rhs)
         return rhs
 
     def trace(

@@ -9,12 +9,18 @@ from .partition import (
     rcb_partition,
 )
 from .halo import SubdomainPlan, build_plans, post_interface, reduce_interface
-from .runner import MultiprocessRunner, ScalingPoint, assemble_partitioned
+from .runner import (
+    MultiprocessRunner,
+    ScalingPoint,
+    WorkerPolicy,
+    assemble_partitioned,
+)
 
 __all__ = [
     "CommError", "SimComm", "run_ranks",
     "element_adjacency", "greedy_graph_partition", "partition_quality",
     "rcb_partition",
     "SubdomainPlan", "build_plans", "post_interface", "reduce_interface",
-    "MultiprocessRunner", "ScalingPoint", "assemble_partitioned",
+    "MultiprocessRunner", "ScalingPoint", "WorkerPolicy",
+    "assemble_partitioned",
 ]

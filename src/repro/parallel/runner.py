@@ -17,6 +17,16 @@ velocities) with its workers through ``multiprocessing.shared_memory`` and
 keeps **one** persistent spawn pool alive across all measured worker
 counts: per measurement, only chunk *bounds* are pickled -- O(1) per task
 instead of O(nelem) -- so the scaling curve measures assembly, not IPC.
+
+Workers are *supervised*: every chunk is dispatched with ``apply_async``
+under a per-task deadline (:class:`WorkerPolicy`), so a crashed, hard-dead
+or hung worker surfaces as a failed chunk instead of blocking ``pool.map``
+forever.  Failed chunks are re-dispatched with bounded retries onto a
+freshly respawned pool (exponential backoff between respawns); a chunk
+that exhausts its retry budget falls back to in-process serial assembly --
+the run completes, slower, with the loss visible in the
+``resilience.retries`` / ``resilience.fallbacks`` counters and a
+``WorkerFailure`` span per incident.
 """
 
 from __future__ import annotations
@@ -38,7 +48,12 @@ from .comm import SimComm
 from .halo import build_plans, post_interface, reduce_interface
 from .partition import rcb_partition
 
-__all__ = ["assemble_partitioned", "MultiprocessRunner", "ScalingPoint"]
+__all__ = [
+    "assemble_partitioned",
+    "MultiprocessRunner",
+    "ScalingPoint",
+    "WorkerPolicy",
+]
 
 
 def assemble_partitioned(
@@ -114,6 +129,27 @@ def assemble_partitioned(
 
 
 @dataclasses.dataclass(frozen=True)
+class WorkerPolicy:
+    """Supervision knobs for the pool workers.
+
+    ``task_timeout`` is the per-chunk deadline in seconds -- a chunk whose
+    result has not arrived by then is declared failed (covers hung *and*
+    hard-dead workers, whose tasks would otherwise never return).
+    ``max_retries`` bounds re-dispatches per chunk before the in-process
+    serial fallback; respawned pools back off exponentially
+    (``backoff_base * backoff_factor**respawn``) to avoid respawn storms.
+    """
+
+    task_timeout: float = 120.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def backoff(self, respawn: int) -> float:
+        return self.backoff_base * self.backoff_factor ** max(0, respawn)
+
+
+@dataclasses.dataclass(frozen=True)
 class ScalingPoint:
     """One strong-scaling measurement.
 
@@ -138,8 +174,13 @@ def _assemble_chunk(
     repeats: int,
     traced: bool,
     program=None,
-) -> Tuple[float, List[dict]]:
-    """Assemble one element chunk ``repeats`` times; returns (seconds, spans).
+) -> Tuple[float, List[dict], Tuple[float, float, float]]:
+    """Assemble one element chunk ``repeats`` times.
+
+    Returns ``(seconds, spans, checksum)`` where ``checksum`` is the
+    component-wise sum of the chunk's elemental RHS -- a deterministic
+    fingerprint the chaos tests compare bitwise between fault-free and
+    fault-recovered runs (the serial fallback reproduces it exactly).
 
     With a compiled :class:`~repro.core.tape.TapeProgram` the chunk runs
     through an :class:`~repro.core.tape.ElementalTape` whose buffer arena
@@ -152,24 +193,35 @@ def _assemble_chunk(
         from ..core.tape import ElementalTape
 
         tape = ElementalTape(program)
+    elem = None
     t0 = time.perf_counter()
     with tracer.span("rank", rank=rank, nelem=int(len(xel)), repeats=repeats):
         for rep in range(repeats):
             with tracer.span("assemble_chunk", rep=rep):
                 if tape is not None:
-                    tape(xel, uel)
+                    elem = tape(xel, uel)
                 else:
-                    element_rhs(xel, uel, params)
-    return time.perf_counter() - t0, tracer.export()
+                    elem = element_rhs(xel, uel, params)
+    seconds = time.perf_counter() - t0
+    if elem is None:
+        checksum = (0.0, 0.0, 0.0)
+    else:
+        sums = elem.sum(axis=(0, 1))
+        checksum = (float(sums[0]), float(sums[1]), float(sums[2]))
+    return seconds, tracer.export(), checksum
 
 
-def _worker_assemble(args: Tuple) -> Tuple[float, List[dict]]:
+def _worker_assemble(args: Tuple) -> Tuple[float, List[dict], Tuple[float, float, float]]:
     """Pool worker: map a zero-copy view of the shared element arrays and
     assemble the ``[start, stop)`` chunk (module-level for pickling).
 
     Only scalars cross the pickle boundary (plus, in compiled mode, the
     one-time picklable tape program); the O(nelem) coordinate and
     velocity packs live in ``multiprocessing.shared_memory``.
+
+    ``fault_plan``/``attempt`` drive chaos testing: an injected ``worker``
+    fault matching ``(rank, attempt)`` crashes, hard-exits, hangs or slows
+    this worker before any shared memory is touched.
     """
     (
         rank,
@@ -182,7 +234,13 @@ def _worker_assemble(args: Tuple) -> Tuple[float, List[dict]]:
         repeats,
         traced,
         program,
+        fault_plan,
+        attempt,
     ) = args
+    if fault_plan is not None:
+        spec = fault_plan.worker_fault(rank, attempt)
+        if spec is not None:
+            fault_plan.execute_worker_fault(spec, rank, attempt)
     # Pool workers share the parent's resource-tracker process, so this
     # attach-side registration is an idempotent no-op and the parent's
     # single unlink keeps the tracker cache clean -- do NOT unregister
@@ -230,6 +288,15 @@ class MultiprocessRunner:
     worker, which replays it with a reusable buffer arena
     (:class:`~repro.core.tape.ElementalTape`) instead of running the
     reference einsum path.
+
+    Chunk dispatch is supervised (see :class:`WorkerPolicy`): worker
+    crashes, hard deaths and hangs are detected by per-task deadlines,
+    retried with bounded respawns, and finally recovered by in-process
+    serial assembly.  Per-chunk RHS checksums are kept in
+    :attr:`chunk_checksums` (``{workers: [(sx, sy, sz), ...]}``) so a
+    recovered run can be proven bitwise identical to a fault-free one.
+    A :class:`~repro.resilience.faults.FaultPlan` passed as ``fault_plan``
+    is shipped to every worker for chaos testing.
     """
 
     def __init__(
@@ -242,6 +309,8 @@ class MultiprocessRunner:
         metrics: Optional[MetricsRegistry] = None,
         assembly_mode: str = "reference",
         variant: str = "RSP",
+        policy: Optional[WorkerPolicy] = None,
+        fault_plan=None,
     ) -> None:
         if assembly_mode not in ("reference", "compiled"):
             raise ValueError(
@@ -255,8 +324,122 @@ class MultiprocessRunner:
         self._metrics = metrics
         self.assembly_mode = assembly_mode
         self.variant = variant.upper()
+        self.policy = policy or WorkerPolicy()
+        self.fault_plan = fault_plan
+        #: per-measure chunk fingerprints: {workers: [checksum per rank]}
+        self.chunk_checksums: Dict[int, List[Tuple[float, float, float]]] = {}
         rng = np.random.default_rng(seed)
         self.velocity = 0.1 * rng.standard_normal((mesh.nnode, 3))
+        self._pool = None
+        self._pool_size = 0
+        self._respawns = 0
+
+    # -- pool lifecycle -------------------------------------------------
+    def _spawn_pool(self, processes: int):
+        pool = mp.get_context("spawn").Pool(processes=processes)
+        pool.map(_worker_warmup, range(processes))
+        return pool
+
+    def _ensure_pool(self, processes: int) -> None:
+        if self._pool is None or self._pool_size < processes:
+            self._shutdown_pool(graceful=True)
+            self._pool = self._spawn_pool(processes)
+            self._pool_size = processes
+
+    def _respawn_pool(self, registry: MetricsRegistry) -> None:
+        """Replace a poisoned pool (dead/hung workers) with a fresh one."""
+        self._shutdown_pool(graceful=False)
+        time.sleep(self.policy.backoff(self._respawns))
+        self._respawns += 1
+        registry.counter("resilience.respawns").inc()
+        self._pool = self._spawn_pool(self._pool_size)
+
+    def _shutdown_pool(self, graceful: bool) -> None:
+        if self._pool is None:
+            return
+        if graceful:
+            self._pool.close()
+        else:
+            # terminate, never close+join: close() waits for in-flight
+            # tasks, which deadlocks when a worker is hung or dead.
+            self._pool.terminate()
+        self._pool.join()
+        self._pool = None
+
+    # -- supervised dispatch --------------------------------------------
+    def _run_supervised(
+        self,
+        chunk_args: List[Tuple],
+        serial_chunks: List[Tuple[np.ndarray, np.ndarray]],
+        registry: MetricsRegistry,
+    ) -> List[Tuple[float, List[dict], Tuple[float, float, float]]]:
+        """Run every chunk to completion, through failures.
+
+        ``chunk_args`` holds the picklable worker argument tuples (one per
+        rank, ``attempt`` slot last); ``serial_chunks`` the parent-side
+        array views used by the in-process fallback.  Returns results in
+        rank order; never returns a partial set.
+        """
+        nchunk = len(chunk_args)
+        results: List = [None] * nchunk
+        attempts = [0] * nchunk
+        pending = list(range(nchunk))
+        while pending:
+            handles = {}
+            for rank in pending:
+                if self.fault_plan is not None:
+                    self.fault_plan.note_worker_dispatch(rank, attempts[rank])
+                args = chunk_args[rank][:-1] + (attempts[rank],)
+                handles[rank] = self._pool.apply_async(_worker_assemble, (args,))
+            failed: List[Tuple[int, str]] = []
+            for rank in pending:
+                try:
+                    results[rank] = handles[rank].get(self.policy.task_timeout)
+                except mp.TimeoutError:
+                    failed.append((rank, "deadline"))
+                except Exception as exc:  # crash raised inside the worker
+                    failed.append((rank, type(exc).__name__))
+            pending = []
+            retry_ranks = []
+            for rank, reason in failed:
+                registry.counter("resilience.worker_failures").inc()
+                attempts[rank] += 1
+                action = (
+                    "retry"
+                    if attempts[rank] <= self.policy.max_retries
+                    else "serial_fallback"
+                )
+                with self.tracer.span(
+                    "WorkerFailure",
+                    rank=rank,
+                    attempt=attempts[rank] - 1,
+                    reason=reason,
+                    action=action,
+                ):
+                    pass
+                if action == "retry":
+                    registry.counter("resilience.retries").inc()
+                    retry_ranks.append(rank)
+                else:
+                    registry.counter("resilience.fallbacks").inc()
+            if failed:
+                # any failure may leave hung/dead workers or orphaned
+                # in-flight state behind: replace the whole pool.
+                self._respawn_pool(registry)
+                pending = retry_ranks
+            for rank, reason in failed:
+                if attempts[rank] > self.policy.max_retries:
+                    xel, uel = serial_chunks[rank]
+                    results[rank] = _assemble_chunk(
+                        rank,
+                        xel,
+                        uel,
+                        self.params,
+                        self.repeats,
+                        bool(self.tracer.enabled),
+                        chunk_args[rank][9],
+                    )
+        return results
 
     def measure(self, worker_counts: List[int]) -> List[ScalingPoint]:
         if not worker_counts:
@@ -276,8 +459,9 @@ class MultiprocessRunner:
 
         x_shm = shared_memory.SharedMemory(create=True, size=xall.nbytes)
         u_shm = shared_memory.SharedMemory(create=True, size=uall.nbytes)
-        pool = None
         raw: List[Tuple[int, float]] = []
+        self.chunk_checksums = {}
+        ok = False
         try:
             np.ndarray(xall.shape, dtype=np.float64, buffer=x_shm.buf)[...] = xall
             np.ndarray(uall.shape, dtype=np.float64, buffer=u_shm.buf)[...] = uall
@@ -286,8 +470,7 @@ class MultiprocessRunner:
             )
             max_workers = max(worker_counts)
             if max_workers > 1:
-                pool = mp.get_context("spawn").Pool(processes=max_workers)
-                pool.map(_worker_warmup, range(max_workers))
+                self._ensure_pool(max_workers)
             for w in worker_counts:
                 bounds = np.linspace(0, nelem, w + 1).astype(np.int64)
                 args = [
@@ -302,6 +485,15 @@ class MultiprocessRunner:
                         self.repeats,
                         traced,
                         program,
+                        self.fault_plan,
+                        0,  # attempt; rewritten per dispatch
+                    )
+                    for rank in range(w)
+                ]
+                serial_chunks = [
+                    (
+                        xall[int(bounds[rank]) : int(bounds[rank + 1])],
+                        uall[int(bounds[rank]) : int(bounds[rank + 1])],
                     )
                     for rank in range(w)
                 ]
@@ -320,7 +512,9 @@ class MultiprocessRunner:
                             )
                         ]
                     else:
-                        results = pool.map(_worker_assemble, args)
+                        results = self._run_supervised(
+                            args, serial_chunks, registry
+                        )
                     wall = time.perf_counter() - t0
                     if span is not None:
                         span.attributes["wall_seconds"] = wall
@@ -329,17 +523,26 @@ class MultiprocessRunner:
                     (xall.nbytes + uall.nbytes) if w > 1 else 0
                 )
                 # merge per-rank timelines (worker pids relabelled to ranks)
-                for rank, (_, rank_spans) in enumerate(results):
+                for rank, (_, rank_spans, _) in enumerate(results):
                     self.tracer.add_spans(rank_spans, pid=rank)
+                self.chunk_checksums[w] = [cs for (_, _, cs) in results]
                 raw.append((w, wall))
+            ok = True
         finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
-            x_shm.close()
-            u_shm.close()
-            x_shm.unlink()
-            u_shm.unlink()
+            # graceful close only on success: close()+join() waits for
+            # in-flight tasks and deadlocks if an exception left a hung or
+            # dead worker behind -- terminate() on the error path.
+            self._shutdown_pool(graceful=ok)
+            self._pool_size = 0
+            for shm in (x_shm, u_shm):
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    # a crashed prior run (or the resource tracker racing
+                    # us) already removed the segment; never poison the
+                    # next measurement over it.
+                    pass
 
         base_workers, base_wall = min(raw, key=lambda p: p[0])
         points = []

@@ -15,13 +15,21 @@ equations for the pressure".  This integrator reproduces that loop:
 
 It also keeps the timing breakdown so the examples can show the paper's
 "assembly dominates" claim on real runs.
+
+Robustness (the production reality of week-long LES campaigns): each stage
+is guarded against NaN/Inf and velocity blow-up; a tripped guard rolls the
+step back to the last good state and retries with a halved ``dt`` (bounded
+by ``max_dt_halvings``, then a structured :class:`IntegrationError`);
+periodic ``.npz`` checkpoints plus :meth:`FractionalStepSolver.restart`
+give bitwise-stable restarts.  Every rollback is counted in
+``resilience.rollbacks`` and visible as a ``Rollback`` span.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,19 +38,64 @@ from ..fem.mesh import TetMesh
 from ..fem.plan import get_plan
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import NULL_TRACER
+from ..resilience.checkpoint import (
+    checkpoint_name,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .momentum import AssemblyParams, assemble_momentum_rhs, kernel_rhs_assembler
 from .pressure import PressureSolver
 
 __all__ = [
     "StepReport",
     "FractionalStepSolver",
+    "IntegrationError",
     "cfl_time_step",
     "resolve_assembler",
 ]
 
 
+class IntegrationError(RuntimeError):
+    """A time step could not be completed even after dt-halving retries.
+
+    Carries the failing ``step``, the last attempted ``dt``, the guard
+    ``stage`` (``"momentum"`` / ``"pressure"`` / ``"projection"``) and the
+    guard ``reason`` so campaign drivers can log and decide (restart from
+    checkpoint, change the CFL, give up) without string-parsing.
+    """
+
+    def __init__(self, message: str, step: int, dt: float, stage: str, reason: str) -> None:
+        super().__init__(message)
+        self.step = step
+        self.dt = dt
+        self.stage = stage
+        self.reason = reason
+
+    def context(self) -> dict:
+        return {
+            "step": self.step,
+            "dt": self.dt,
+            "stage": self.stage,
+            "reason": self.reason,
+        }
+
+
+class _StageFailure(Exception):
+    """Internal: a stage guard tripped (caught by the rollback loop)."""
+
+    def __init__(self, stage: str, reason: str) -> None:
+        super().__init__(f"{stage}: {reason}")
+        self.stage = stage
+        self.reason = reason
+
+
 def resolve_assembler(
-    spec: str, mesh: TetMesh, params: AssemblyParams, tracer=None
+    spec: str,
+    mesh: TetMesh,
+    params: AssemblyParams,
+    tracer=None,
+    fault_plan=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Callable:
     """Resolve an assembler spec string to an RHS assembly callable.
 
@@ -50,15 +103,31 @@ def resolve_assembler(
     ``"interpreted"`` run the DSL kernel path (default variant RSP) in the
     corresponding :class:`~repro.core.unified.UnifiedAssembler` mode; a
     ``":<VARIANT>"`` suffix (e.g. ``"compiled:RS"``) picks the variant.
+    ``"resilient[:VARIANT]"`` wraps the degradation ladder
+    (:class:`~repro.resilience.ladders.ResilientAssembler`): compiled,
+    validated against the reference on first sweep, degrading to
+    interpreted and finally reference if validation fails.
     """
     text = spec.strip().lower()
     if text == "reference":
         return assemble_momentum_rhs
     mode, _, variant = text.partition(":")
+    if mode == "resilient":
+        from ..resilience.ladders import ResilientAssembler
+
+        return ResilientAssembler(
+            mesh,
+            params,
+            variant=(variant or "RSP"),
+            fault_plan=fault_plan,
+            tracer=tracer,
+            metrics=metrics,
+        )
     if mode not in ("compiled", "interpreted"):
         raise ValueError(
             f"unknown assembler spec {spec!r}; expected 'reference', "
-            "'compiled[:VARIANT]' or 'interpreted[:VARIANT]'"
+            "'compiled[:VARIANT]', 'interpreted[:VARIANT]' or "
+            "'resilient[:VARIANT]'"
         )
     return kernel_rhs_assembler(
         mesh, params, variant=(variant or "RSP"), mode=mode, tracer=tracer
@@ -71,13 +140,27 @@ _RK3_COEFFS = (1.0 / 3.0, 0.5, 1.0)
 def cfl_time_step(
     mesh: TetMesh, velocity: np.ndarray, cfl: float = 0.5, floor: float = 1e-12
 ) -> float:
-    """CFL-limited time step ``dt = cfl * min(h / |u|)`` with ``h = V^(1/3)``."""
-    h = np.cbrt(np.abs(get_plan(mesh).element_volumes()))
+    """CFL-limited time step ``dt = cfl * min(h / |u|)`` with ``h = V^(1/3)``.
+
+    Raises a descriptive :class:`ValueError` for meshes the formula is
+    meaningless on -- no elements at all, or a zero-volume element (which
+    would drive ``dt`` to zero and stall the campaign silently).
+    """
+    vols = get_plan(mesh).element_volumes()
+    if vols.size == 0:
+        raise ValueError("cfl_time_step: mesh has no elements")
+    h = np.cbrt(np.abs(vols))
+    hmin = float(h.min())
+    if hmin <= 0.0:
+        raise ValueError(
+            "cfl_time_step: mesh contains a zero-volume element "
+            "(min |V| = 0); repair the mesh before time stepping"
+        )
     umag = np.linalg.norm(velocity, axis=1)
     umax = float(umag.max()) if umag.size else 0.0
     if umax <= floor:
-        return cfl * float(h.min())
-    return cfl * float(h.min()) / umax
+        return cfl * hmin
+    return cfl * hmin / umax
 
 
 @dataclasses.dataclass
@@ -126,6 +209,22 @@ class FractionalStepSolver:
         Registry receiving ``fstep.steps`` / ``fstep.assemblies`` counters
         and the ``fstep.pressure_iterations`` histogram; defaults to the
         process-wide registry.
+    max_dt_halvings:
+        Rollback budget per step: a stage guard trip (NaN/Inf, blow-up)
+        restores the pre-step state and retries with ``dt/2``, at most
+        this many times, then raises :class:`IntegrationError`.
+    blowup_factor:
+        Guard threshold: a step whose max velocity magnitude exceeds
+        ``blowup_factor * max(1, previous max)`` is rejected as a CFL
+        blow-up even when still finite.
+    checkpoint_every, checkpoint_dir:
+        When both set, a restartable ``.npz`` checkpoint is written to
+        ``checkpoint_dir`` every ``checkpoint_every`` completed steps
+        (see :meth:`checkpoint` / :meth:`restart`).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; its
+        ``"momentum_rhs"`` site corrupts one RHS sweep so chaos tests can
+        force the rollback path.
     """
 
     def __init__(
@@ -138,19 +237,34 @@ class FractionalStepSolver:
         sweeps_per_step: int = 3,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        max_dt_halvings: int = 4,
+        blowup_factor: float = 100.0,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        fault_plan=None,
     ) -> None:
         self.mesh = mesh
         self.params = params
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._metrics = metrics
         self.dirichlet = list(dirichlet)
+        self.fault_plan = fault_plan
         if isinstance(assemble, str):
             assemble = resolve_assembler(
-                assemble, mesh, params, tracer=tracer
+                assemble,
+                mesh,
+                params,
+                tracer=tracer,
+                fault_plan=fault_plan,
+                metrics=metrics,
             )
         self.assemble = assemble or assemble_momentum_rhs
         self.pressure = pressure_solver or PressureSolver(mesh)
         self.sweeps = int(sweeps_per_step)
+        self.max_dt_halvings = int(max_dt_halvings)
+        self.blowup_factor = float(blowup_factor)
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_dir = checkpoint_dir
         self._plan = get_plan(mesh)
         self.mass = self._plan.lumped_mass()
         self.velocity = np.zeros((mesh.nnode, 3))
@@ -188,57 +302,128 @@ class FractionalStepSolver:
         )
 
     # ------------------------------------------------------------------
-    def advance(self, dt: float) -> StepReport:
-        """One fractional step of size ``dt``."""
-        if dt <= 0:
-            raise ValueError("dt must be positive")
+    def _attempt_step(
+        self, dt: float
+    ) -> Tuple[np.ndarray, np.ndarray, object, float, float]:
+        """Compute one candidate step *without mutating solver state*.
+
+        Returns ``(u, p, pressure_result, t_assembly, t_pressure)``;
+        raises :class:`_StageFailure` when a stage guard trips, leaving
+        the solver untouched so the caller can roll back cheaply.
+        """
         mesh = self.mesh
         minv = 1.0 / self.mass[:, None]
-        registry = get_registry() if self._metrics is None else self._metrics
-        step_span = self.tracer.span(
-            "step", step=self.step_count + 1, dt=float(dt)
+        umax_before = (
+            float(np.linalg.norm(self.velocity, axis=1).max())
+            if self.velocity.size
+            else 0.0
         )
-        with step_span:
-            # -- explicit RK momentum predictor (sweeps assemblies) -------
-            with self.tracer.span("momentum", sweeps=self.sweeps):
-                t0 = time.perf_counter()
-                u0 = self.velocity.copy()
-                u = u0
-                coeffs = _RK3_COEFFS if self.sweeps == 3 else tuple(
-                    (k + 1.0) / self.sweeps for k in range(self.sweeps)
-                )
-                for c in coeffs:
-                    rhs = self.assemble(mesh, u, self.params)
-                    u = u0 + (c * dt) * (rhs * minv)
-                    self._apply_bcs(u)
-                t_assembly = time.perf_counter() - t0
-
-            # -- pressure solve -------------------------------------------
-            with self.tracer.span("pressure"):
-                t0 = time.perf_counter()
-                result = self.pressure.solve(
-                    u, self.params.density, dt, x0=self.pressure_field
-                )
-                t_pressure = time.perf_counter() - t0
-                self.pressure_field = result.x
-
-            # -- projection -----------------------------------------------
-            with self.tracer.span("projection"):
-                gradp = self.pressure.pressure_gradient(self.pressure_field)
-                u = u - (dt / self.params.density) * gradp
+        # -- explicit RK momentum predictor (sweeps assemblies) -----------
+        with self.tracer.span("momentum", sweeps=self.sweeps):
+            t0 = time.perf_counter()
+            u0 = self.velocity.copy()
+            u = u0
+            coeffs = _RK3_COEFFS if self.sweeps == 3 else tuple(
+                (k + 1.0) / self.sweeps for k in range(self.sweeps)
+            )
+            for c in coeffs:
+                rhs = self.assemble(mesh, u, self.params)
+                if self.fault_plan is not None:
+                    self.fault_plan.corrupt("momentum_rhs", rhs)
+                u = u0 + (c * dt) * (rhs * minv)
                 self._apply_bcs(u)
+            t_assembly = time.perf_counter() - t0
+        if not np.isfinite(u).all():
+            raise _StageFailure("momentum", "non-finite predictor velocity")
+
+        # -- pressure solve -----------------------------------------------
+        with self.tracer.span("pressure"):
+            t0 = time.perf_counter()
+            result = self.pressure.solve(
+                u, self.params.density, dt, x0=self.pressure_field
+            )
+            t_pressure = time.perf_counter() - t0
+        if not np.isfinite(result.x).all():
+            raise _StageFailure("pressure", "non-finite pressure field")
+
+        # -- projection ---------------------------------------------------
+        with self.tracer.span("projection"):
+            gradp = self.pressure.pressure_gradient(result.x)
+            u = u - (dt / self.params.density) * gradp
+            self._apply_bcs(u)
+        if not np.isfinite(u).all():
+            raise _StageFailure("projection", "non-finite corrected velocity")
+        umax_after = float(np.linalg.norm(u, axis=1).max()) if u.size else 0.0
+        if umax_after > self.blowup_factor * max(1.0, umax_before):
+            raise _StageFailure(
+                "projection",
+                f"velocity blow-up: max|u| {umax_before:.3e} -> "
+                f"{umax_after:.3e} (> {self.blowup_factor:g}x)",
+            )
+        return u, result.x, result, t_assembly, t_pressure
+
+    def advance(self, dt: float) -> StepReport:
+        """One fractional step of size ``dt``.
+
+        Stage guards (NaN/Inf, CFL blow-up) roll the step back to the
+        pre-step state and retry with a halved ``dt`` -- up to
+        ``max_dt_halvings`` times before a structured
+        :class:`IntegrationError`.  A successful step commits state,
+        counters and (when configured) the periodic checkpoint.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        registry = get_registry() if self._metrics is None else self._metrics
+        dt_eff = float(dt)
+        failure: Optional[_StageFailure] = None
+        for retry in range(self.max_dt_halvings + 1):
+            step_span = self.tracer.span(
+                "step", step=self.step_count + 1, dt=float(dt_eff), retry=retry
+            )
+            try:
+                with step_span:
+                    u, p, result, t_assembly, t_pressure = self._attempt_step(
+                        dt_eff
+                    )
+                break
+            except _StageFailure as exc:
+                # _attempt_step left self untouched: "rollback" is simply
+                # keeping the pre-step state and shrinking dt.
+                failure = exc
+                registry.counter("resilience.rollbacks").inc()
+                with self.tracer.span(
+                    "Rollback",
+                    step=self.step_count + 1,
+                    stage=exc.stage,
+                    reason=exc.reason,
+                    dt=float(dt_eff),
+                ):
+                    pass
+                dt_eff *= 0.5
+        else:
+            assert failure is not None
+            raise IntegrationError(
+                f"step {self.step_count + 1} failed after "
+                f"{self.max_dt_halvings} dt-halvings "
+                f"(last dt={dt_eff * 2.0:.3e}): {failure}",
+                step=self.step_count + 1,
+                dt=dt_eff * 2.0,
+                stage=failure.stage,
+                reason=failure.reason,
+            )
 
         registry.counter("fstep.steps").inc()
         registry.counter("fstep.assemblies").inc(self.sweeps)
         registry.histogram("fstep.pressure_iterations").record(result.iterations)
 
         self.velocity = u
-        self.time += dt
+        self.pressure_field = p
+        self.time += dt_eff
         self.step_count += 1
         report = StepReport(
             step=self.step_count,
             time=self.time,
-            dt=dt,
+            dt=dt_eff,
             assembly_seconds=t_assembly,
             pressure_seconds=t_pressure,
             pressure_iterations=result.iterations,
@@ -247,7 +432,60 @@ class FractionalStepSolver:
             kinetic_energy=self.kinetic_energy(),
         )
         self.history.append(report)
+        if (
+            self.checkpoint_every > 0
+            and self.checkpoint_dir is not None
+            and self.step_count % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
         return report
+
+    # -- checkpoint / restart ------------------------------------------
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Write a restartable ``.npz`` checkpoint; returns the path.
+
+        Defaults to ``checkpoint_dir/checkpoint_<step>.npz``; pass an
+        explicit ``path`` for ad-hoc checkpoints.
+        """
+        if path is None:
+            if self.checkpoint_dir is None:
+                raise ValueError(
+                    "no checkpoint_dir configured; pass an explicit path"
+                )
+            path = checkpoint_name(self.checkpoint_dir, self.step_count)
+        registry = get_registry() if self._metrics is None else self._metrics
+        with self.tracer.span("checkpoint", step=self.step_count, path=path):
+            save_checkpoint(
+                path,
+                velocity=self.velocity,
+                pressure=self.pressure_field,
+                time=self.time,
+                step=self.step_count,
+                nnode=self.mesh.nnode,
+                nelem=self.mesh.nelem,
+            )
+        registry.counter("resilience.checkpoints").inc()
+        return path
+
+    def restart(self, path: str) -> "FractionalStepSolver":
+        """Restore state from a checkpoint written by :meth:`checkpoint`.
+
+        The restored run is bitwise identical to the uninterrupted one
+        (full-precision state, deterministic assembly and solves).  Prior
+        in-memory ``history`` is cleared -- it described a different
+        trajectory prefix.  Returns ``self`` for chaining::
+
+            solver = FractionalStepSolver(mesh, params).restart(path)
+        """
+        state = load_checkpoint(path)
+        state.validate_against(self.mesh.nnode, self.mesh.nelem)
+        self.velocity = state.velocity
+        self.pressure_field = state.pressure
+        self.time = state.time
+        self.step_count = state.step
+        self.history = []
+        self._apply_bcs(self.velocity)
+        return self
 
     # ------------------------------------------------------------------
     def run(

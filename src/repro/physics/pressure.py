@@ -9,6 +9,15 @@ predictor the pressure satisfies a Poisson problem
 (pure Neumann: pressure defined up to a constant).  This module assembles
 the P1 stiffness (Laplacian) matrix and the divergence RHS, and solves with
 AMG-preconditioned CG, projecting out the constant nullspace.
+
+The solve climbs a degradation ladder before giving up (Alya's production
+reality: a campaign must not die on one hard step): plain CG(AMG) first;
+on breakdown or non-convergence, deflated CG with a piecewise-constant
+coarse space from a mesh partition (Alya's own production rescue); then CG
+with a stronger (more smoothing, denser-aggregation) AMG hierarchy and a
+larger iteration budget.  Only when every rung fails does a structured
+:class:`~repro.solvers.cg.SolverError` surface.  Each climb increments
+``resilience.solver_escalations`` and emits a ``SolverEscalation`` span.
 """
 
 from __future__ import annotations
@@ -21,8 +30,10 @@ import scipy.sparse as sp
 
 from ..fem.mesh import TetMesh
 from ..fem.plan import GeometryCache, get_plan
+from ..obs.metrics import MetricsRegistry
 from ..solvers.amg import SmoothedAggregationAMG
-from ..solvers.cg import SolveResult, conjugate_gradient
+from ..solvers.cg import SolveResult, SolverError, conjugate_gradient
+from ..solvers.deflation import deflated_cg, partition_coarse_space
 
 __all__ = ["assemble_laplacian", "divergence_rhs", "PressureSolver"]
 
@@ -76,12 +87,36 @@ class PressureSolver:
     use_amg:
         Disable to run Jacobi-preconditioned CG instead (comparison knob
         used by the solver benchmarks).
+    max_rung:
+        Top rung of the degradation ladder: 0 = plain CG only (the seed
+        behaviour, returning unconverged results silently), 1 = escalate
+        to deflated CG, 2 (default) = also try the stronger-AMG rung.
+        With ``max_rung > 0`` an exhausted ladder raises a structured
+        :class:`~repro.solvers.cg.SolverError` instead of silently
+        returning garbage.
+    deflation_subdomains:
+        Coarse-space size for the deflation rung (piecewise-constant over
+        an RCB node partition).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; a
+        ``("cg", "breakdown")`` fault sabotages the rung-0 matvec into
+        non-SPD territory so chaos tests can force an escalation.
+    tracer, metrics:
+        Escalation observability (``SolverEscalation`` spans and the
+        ``resilience.solver_escalations`` counter).
     """
 
     mesh: TetMesh
     tol: float = 1e-8
     maxiter: int = 500
     use_amg: bool = True
+    max_rung: int = 2
+    deflation_subdomains: int = 8
+    fault_plan: Optional[object] = dataclasses.field(default=None, repr=False)
+    tracer: Optional[object] = dataclasses.field(default=None, repr=False)
+    metrics: Optional[MetricsRegistry] = dataclasses.field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         self._plan = get_plan(self.mesh)
@@ -95,9 +130,91 @@ class PressureSolver:
             diag = self.laplacian.diagonal()
             inv = np.where(diag > 0, 1.0 / np.where(diag == 0, 1, diag), 1.0)
             self._jacobi = lambda r: inv * r
+        # rescue rungs are built lazily -- a healthy campaign never pays
+        # for them.
+        self._deflation_basis: Optional[sp.csr_matrix] = None
+        self._strong_amg: Optional[SmoothedAggregationAMG] = None
 
     def _project_constant(self, v: np.ndarray) -> np.ndarray:
         return v - v.mean()
+
+    def _preconditioner(self):
+        precond = (
+            self._amg.as_preconditioner()
+            if self._amg is not None
+            else self._jacobi
+        )
+        return lambda r: self._project_constant(precond(r))
+
+    # -- rescue rungs ----------------------------------------------------
+    def _coarse_space(self) -> sp.csr_matrix:
+        """Piecewise-constant deflation basis over an RCB node partition.
+
+        Node labels derive deterministically from the element partition:
+        each node takes the smallest label among its elements.
+        """
+        if self._deflation_basis is None:
+            from ..parallel.partition import rcb_partition
+
+            nsub = max(1, min(self.deflation_subdomains, self.mesh.nelem))
+            elem_labels = rcb_partition(self.mesh, nsub)
+            node_labels = np.full(self.mesh.nnode, np.iinfo(np.int64).max)
+            np.minimum.at(
+                node_labels,
+                self.mesh.connectivity.ravel(),
+                np.repeat(elem_labels, 4),
+            )
+            self._deflation_basis = partition_coarse_space(node_labels)
+        return self._deflation_basis
+
+    def _stronger_amg(self) -> SmoothedAggregationAMG:
+        """Heavier hierarchy: more smoothing sweeps, denser aggregation."""
+        if self._strong_amg is None:
+            self._strong_amg = SmoothedAggregationAMG(
+                self.laplacian,
+                theta=0.04,
+                presmooth=3,
+                postsmooth=3,
+            )
+        return self._strong_amg
+
+    def _solve_rung(
+        self,
+        rung: int,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray],
+        matvec,
+    ) -> SolveResult:
+        if rung == 0:
+            return conjugate_gradient(
+                matvec,
+                rhs,
+                x0=x0,
+                tol=self.tol,
+                maxiter=self.maxiter,
+                preconditioner=self._preconditioner(),
+            )
+        if rung == 1:
+            return deflated_cg(
+                self.laplacian,
+                rhs,
+                self._coarse_space(),
+                x0=x0,
+                tol=self.tol,
+                maxiter=self.maxiter,
+                preconditioner=self._preconditioner(),
+            )
+        strong = self._stronger_amg()
+        return conjugate_gradient(
+            lambda p: self.laplacian @ p,
+            rhs,
+            x0=x0,
+            tol=self.tol,
+            maxiter=4 * self.maxiter,
+            preconditioner=lambda r: self._project_constant(strong.vcycle(r)),
+        )
+
+    _RUNG_NAMES = ("cg", "cg+deflation", "cg+strong-amg")
 
     def solve(
         self,
@@ -106,27 +223,77 @@ class PressureSolver:
         dt: float,
         x0: Optional[np.ndarray] = None,
     ) -> SolveResult:
-        """Solve for the pressure given the predictor velocity."""
+        """Solve for the pressure given the predictor velocity.
+
+        Escalates through the degradation ladder (see class docstring);
+        the returned result carries the serving rung in ``result.rung``
+        (0 = fast path).
+        """
         rhs = self._project_constant(
             divergence_rhs(self.mesh, velocity, density, dt)
-        )
-        precond = (
-            self._amg.as_preconditioner() if self._amg is not None else self._jacobi
         )
 
         def matvec(p: np.ndarray) -> np.ndarray:
             return self.laplacian @ p
 
-        result = conjugate_gradient(
-            matvec,
-            rhs,
-            x0=x0,
-            tol=self.tol,
-            maxiter=self.maxiter,
-            preconditioner=lambda r: self._project_constant(precond(r)),
+        sabotage = False
+        if self.fault_plan is not None:
+            spec = self.fault_plan.draw("cg")
+            sabotage = spec is not None and spec.kind == "breakdown"
+        if sabotage:
+            # sabotaged operator: -A is negative semi-definite, so CG hits
+            # non-positive curvature on its first iteration.
+            def rung0_matvec(p: np.ndarray) -> np.ndarray:
+                return -(self.laplacian @ p)
+        else:
+            rung0_matvec = matvec
+
+        attempts = []
+        for rung in range(self.max_rung + 1):
+            try:
+                result = self._solve_rung(
+                    rung, rhs, x0, rung0_matvec if rung == 0 else matvec
+                )
+            except SolverError as exc:
+                result = None
+                attempts.append((self._RUNG_NAMES[rung], str(exc)))
+            else:
+                if result.converged and np.isfinite(result.x).all():
+                    result.x = self._project_constant(result.x)
+                    result.rung = rung
+                    return result
+                attempts.append(
+                    (
+                        self._RUNG_NAMES[rung],
+                        f"unconverged after {result.iterations} iterations "
+                        f"(residual {result.residual_norm:.3e})",
+                    )
+                )
+            if rung == self.max_rung:
+                break
+            from ..resilience.ladders import record_escalation
+
+            record_escalation(
+                "SolverEscalation",
+                "resilience.solver_escalations",
+                self.tracer,
+                self.metrics,
+                from_rung=self._RUNG_NAMES[rung],
+                to_rung=self._RUNG_NAMES[rung + 1],
+            )
+
+        if self.max_rung == 0 and result is not None:
+            # seed behaviour: single rung, hand the unconverged result back
+            result.x = self._project_constant(result.x)
+            result.rung = 0
+            return result
+        raise SolverError(
+            "pressure ladder exhausted: "
+            + "; ".join(f"{name}: {why}" for name, why in attempts),
+            iterations=None if result is None else result.iterations,
+            residual_norm=None if result is None else result.residual_norm,
+            target=self.tol,
         )
-        result.x = self._project_constant(result.x)
-        return result
 
     def pressure_gradient(self, pressure: np.ndarray) -> np.ndarray:
         """Nodal (lumped) pressure gradient ``(nnode, 3)`` for the corrector.

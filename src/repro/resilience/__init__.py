@@ -1,0 +1,59 @@
+"""Resilience subsystem: fault injection, recovery, and degradation.
+
+The production context of the paper -- Alya LES campaigns across thousands
+of MPI ranks -- demands that a lost rank, a NaN sweep or a diverging
+pressure solve degrade a run, not kill it.  This package provides
+
+* :mod:`~repro.resilience.faults` -- deterministic, seedable fault
+  injection (:class:`FaultPlan`), the driver of every chaos test;
+* :mod:`~repro.resilience.checkpoint` -- atomic ``.npz`` checkpoints for
+  bitwise-stable integrator restarts;
+* :mod:`~repro.resilience.ladders` -- degradation ladders: the
+  ``compiled -> interpreted -> reference`` assembler chain
+  (:class:`ResilientAssembler`) and the shared escalation bookkeeping the
+  pressure-solver ladder uses.
+
+Recovery machinery itself lives where the failures happen: supervised
+workers in :class:`repro.parallel.runner.MultiprocessRunner`,
+checkpoint/rollback in
+:class:`repro.physics.fractional_step.FractionalStepSolver`, and the CG
+escalation ladder in :class:`repro.physics.pressure.PressureSolver`.
+Every recovery action is observable through the ``resilience.*`` counters
+(:data:`RESILIENCE_COUNTERS`) and marker spans.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    checkpoint_name,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faults import (
+    RECOVERY_COUNTERS,
+    RESILIENCE_COUNTERS,
+    FaultPlan,
+    FaultSpec,
+    WorkerCrash,
+    fault_seed_from_env,
+)
+from .ladders import AssemblyDegraded, ResilientAssembler, record_escalation
+
+__all__ = [
+    "AssemblyDegraded",
+    "CheckpointError",
+    "CheckpointState",
+    "FaultPlan",
+    "FaultSpec",
+    "RECOVERY_COUNTERS",
+    "RESILIENCE_COUNTERS",
+    "ResilientAssembler",
+    "WorkerCrash",
+    "checkpoint_name",
+    "fault_seed_from_env",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "record_escalation",
+    "save_checkpoint",
+]

@@ -1,0 +1,146 @@
+"""``.npz`` checkpoints for the fractional-step integrator.
+
+A checkpoint is the *complete* restartable state of a run: velocity,
+pressure, simulated time and step count, plus mesh fingerprints so a
+restart against the wrong mesh fails loudly instead of producing garbage.
+Arrays are stored in full float64, so a restarted run is bitwise identical
+to the uninterrupted one (the chaos suite asserts exactly that).
+
+Writes are atomic: the file is written to ``<path>.tmp`` and renamed, so a
+run killed mid-checkpoint can never leave a truncated checkpoint behind --
+the previous one stays valid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointState",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_name",
+    "latest_checkpoint",
+]
+
+_FORMAT = "repro-checkpoint/1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or from a different run."""
+
+
+@dataclasses.dataclass
+class CheckpointState:
+    """Restartable integrator state."""
+
+    velocity: np.ndarray
+    pressure: np.ndarray
+    time: float
+    step: int
+    nnode: int
+    nelem: int
+
+    def validate_against(self, nnode: int, nelem: int) -> None:
+        if (self.nnode, self.nelem) != (nnode, nelem):
+            raise CheckpointError(
+                f"checkpoint is for a mesh with {self.nnode} nodes / "
+                f"{self.nelem} elements, not {nnode}/{nelem}"
+            )
+        if self.velocity.shape != (nnode, 3):
+            raise CheckpointError(
+                f"checkpoint velocity shape {self.velocity.shape} != ({nnode}, 3)"
+            )
+        if self.pressure.shape != (nnode,):
+            raise CheckpointError(
+                f"checkpoint pressure shape {self.pressure.shape} != ({nnode},)"
+            )
+
+
+def save_checkpoint(
+    path: str,
+    velocity: np.ndarray,
+    pressure: np.ndarray,
+    time: float,
+    step: int,
+    nnode: int,
+    nelem: int,
+) -> str:
+    """Write one checkpoint atomically; returns ``path``.
+
+    Refuses non-finite state: persisting a poisoned checkpoint would turn
+    a recoverable fault into an unrecoverable restart loop.
+    """
+    velocity = np.asarray(velocity, dtype=np.float64)
+    pressure = np.asarray(pressure, dtype=np.float64)
+    if not np.isfinite(velocity).all() or not np.isfinite(pressure).all():
+        raise CheckpointError(
+            f"{path}: refusing to checkpoint non-finite state"
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez(
+            fh,
+            format=np.array(_FORMAT),
+            velocity=velocity,
+            pressure=pressure,
+            time=np.float64(time),
+            step=np.int64(step),
+            nnode=np.int64(nnode),
+            nelem=np.int64(nelem),
+        )
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str) -> CheckpointState:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path!r}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            fmt = str(data["format"])
+            if fmt != _FORMAT:
+                raise CheckpointError(
+                    f"{path}: unknown checkpoint format {fmt!r} "
+                    f"(want {_FORMAT!r})"
+                )
+            state = CheckpointState(
+                velocity=np.array(data["velocity"], dtype=np.float64),
+                pressure=np.array(data["pressure"], dtype=np.float64),
+                time=float(data["time"]),
+                step=int(data["step"]),
+                nnode=int(data["nnode"]),
+                nelem=int(data["nelem"]),
+            )
+    except CheckpointError:
+        raise
+    except Exception as exc:  # truncated / not-an-npz / missing keys
+        raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
+    if not np.isfinite(state.velocity).all() or not np.isfinite(state.pressure).all():
+        raise CheckpointError(f"{path}: checkpoint contains non-finite values")
+    return state
+
+
+def checkpoint_name(directory: str, step: int) -> str:
+    """Canonical per-step checkpoint path inside ``directory``."""
+    return os.path.join(directory, f"checkpoint_{step:06d}.npz")
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Most recent (highest-step) checkpoint in ``directory``, if any."""
+    if not os.path.isdir(directory):
+        return None
+    names = sorted(
+        n
+        for n in os.listdir(directory)
+        if n.startswith("checkpoint_") and n.endswith(".npz")
+    )
+    return os.path.join(directory, names[-1]) if names else None

@@ -57,13 +57,18 @@ class SolverError(RuntimeError):
 
 @dataclasses.dataclass
 class SolveResult:
-    """Outcome of an iterative solve."""
+    """Outcome of an iterative solve.
+
+    ``rung`` records which rung of a degradation ladder served the solve
+    (0 = fast path; see :class:`repro.physics.pressure.PressureSolver`).
+    """
 
     x: np.ndarray
     iterations: int
     residual_norm: float
     converged: bool
     residual_history: List[float]
+    rung: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -42,6 +42,7 @@ def deflated_cg(
     a: sp.spmatrix,
     b: np.ndarray,
     w: sp.spmatrix,
+    x0: Optional[np.ndarray] = None,
     tol: float = 1e-8,
     maxiter: int = 1000,
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
@@ -56,6 +57,9 @@ def deflated_cg(
         Right-hand side.
     w:
         ``(n, k)`` coarse basis (sparse).
+    x0:
+        Initial guess for the inner CG iterate (the coarse add-back is
+        valid for any iterate, so a warm start passes straight through).
     """
     a = sp.csr_matrix(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -73,6 +77,7 @@ def deflated_cg(
     result = conjugate_gradient(
         deflated_matvec,
         project(b),
+        x0=None if x0 is None else np.asarray(x0, dtype=np.float64),
         tol=tol,
         maxiter=maxiter,
         preconditioner=preconditioner,

@@ -1,0 +1,122 @@
+"""Fault-plan mechanics: deterministic matching, corruption, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience import (
+    RECOVERY_COUNTERS,
+    RESILIENCE_COUNTERS,
+    FaultPlan,
+    FaultSpec,
+    WorkerCrash,
+    fault_seed_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Isolate the process-wide registry fault accounting writes into."""
+    registry = set_registry(MetricsRegistry())
+    yield registry
+    set_registry(MetricsRegistry())
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(site="worker", kind="gremlin")
+
+
+def test_recovery_counters_are_a_subset():
+    assert set(RECOVERY_COUNTERS) < set(RESILIENCE_COUNTERS)
+    assert "resilience.faults_injected" not in RECOVERY_COUNTERS
+
+
+def test_seed_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+    assert fault_seed_from_env(77) == 77
+    monkeypatch.setenv("REPRO_FAULT_SEED", "4321")
+    assert fault_seed_from_env(77) == 4321
+
+
+def test_draw_fires_on_indexed_occurrence(_fresh_registry):
+    plan = FaultPlan.single("cg", "breakdown", index=2)
+    assert plan.draw("cg") is None
+    assert plan.draw("cg") is None
+    spec = plan.draw("cg")
+    assert spec is not None and spec.kind == "breakdown"
+    assert plan.draw("cg") is None
+    assert len(plan.events) == 1
+    assert plan.events[0]["site"] == "cg" and plan.events[0]["index"] == 2
+    snap = _fresh_registry.snapshot()
+    assert snap["resilience.faults_injected"]["value"] == 1.0
+
+
+def test_sites_count_independently():
+    plan = FaultPlan.single("momentum_rhs", "nan", index=1)
+    assert plan.draw("cg") is None  # does not consume momentum_rhs
+    assert plan.draw("momentum_rhs") is None
+    arr = np.ones(8)
+    assert plan.corrupt("momentum_rhs", arr)  # occurrence 1 fires
+    assert np.isnan(arr).sum() == 1
+
+
+def test_corrupt_is_deterministic():
+    def corrupted_index(seed):
+        plan = FaultPlan.single("assembler", "inf", seed=seed)
+        arr = np.zeros((5, 4, 3))
+        assert plan.corrupt("assembler", arr)
+        return int(np.flatnonzero(~np.isfinite(arr.reshape(-1)))[0])
+
+    assert corrupted_index(1234) == corrupted_index(1234)
+    # inf payload, recorded flat index matches the event log
+    plan = FaultPlan.single("assembler", "inf", seed=9)
+    arr = np.zeros(12)
+    plan.corrupt("assembler", arr)
+    assert np.isinf(arr).sum() == 1
+    assert plan.events[0]["flat_index"] == int(np.flatnonzero(np.isinf(arr))[0])
+
+
+def test_corrupt_ignores_mismatched_kind_and_empty_arrays():
+    plan = FaultPlan.single("cg", "breakdown")
+    assert not plan.corrupt("cg", np.ones(4))  # breakdown is not corruption
+    plan = FaultPlan.single("assembler", "nan")
+    assert not plan.corrupt("assembler", np.empty(0))
+
+
+def test_worker_fault_is_stateless_on_attempt():
+    plan = FaultPlan.single("worker", "crash", rank=1, index=0)
+    # attempt 0 of rank 1 fires, every retry (attempt >= 1) succeeds
+    assert plan.worker_fault(1, 0) is not None
+    assert plan.worker_fault(1, 0) is not None  # stateless: still matches
+    assert plan.worker_fault(1, 1) is None
+    assert plan.worker_fault(0, 0) is None  # other ranks untouched
+
+
+def test_execute_worker_fault_crash_raises():
+    plan = FaultPlan.single("worker", "crash", rank=0)
+    spec = plan.worker_fault(0, 0)
+    with pytest.raises(WorkerCrash, match="rank=0"):
+        plan.execute_worker_fault(spec, 0, 0)
+
+
+def test_plan_roundtrips_through_pickle():
+    plan = FaultPlan.single("worker", "exit", rank=2, seed=99)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.seed == 99
+    assert clone.worker_fault(2, 0) == plan.worker_fault(2, 0)
+
+
+def test_event_log_jsonl(tmp_path):
+    import json
+
+    plan = FaultPlan.single("cg", "breakdown")
+    plan.draw("cg")
+    path = plan.write_event_log(str(tmp_path / "faults.jsonl"))
+    lines = [json.loads(x) for x in open(path, encoding="utf-8")]
+    assert len(lines) == 1
+    assert lines[0]["site"] == "cg" and lines[0]["kind"] == "breakdown"
+    plan.reset()
+    assert plan.events == [] and plan.draw("cg") is not None
