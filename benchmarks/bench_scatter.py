@@ -64,15 +64,30 @@ def scatter_timings(mesh, repeats=REPEATS):
     t_sort = _best_of(
         lambda: plan.scatter.scatter(values, strategy="sort"), repeats
     )
+    # Effective traffic of one reduction: every contribution is read once
+    # with its index, every output row written once.
+    bytes_moved = values.nbytes + indices.nbytes + mesh.nnode * 3 * 8
+
+    # Effective gather bandwidth: the velocity gather u[connectivity] is
+    # the locality-bound stage SFC/RCM reordering targets -- measure it
+    # too so BENCH_locality.json ratios have an absolute anchor.
+    u = rng.standard_normal((mesh.nnode, 3))
+    conn = mesh.connectivity
+    t_gather = _best_of(lambda: u[conn], repeats)
+    gather_bytes = mesh.nelem * 4 * 3 * 8 + conn.nbytes + u.nbytes
     return {
         "benchmark": "scatter",
         "nelem": int(mesh.nelem),
         "nnode": int(mesh.nnode),
+        "ordering": "none",
         "add_at_ms": t_add_at * 1e3,
         "plan_bincount_ms": t_bincount * 1e3,
         "plan_sort_ms": t_sort * 1e3,
         "speedup_bincount": t_add_at / t_bincount,
         "speedup_sort": t_add_at / t_sort,
+        "scatter_gbps": bytes_moved / t_bincount / 1e9,
+        "gather_ms": t_gather * 1e3,
+        "gather_gbps": gather_bytes / t_gather / 1e9,
     }
 
 
@@ -122,6 +137,10 @@ def main() -> None:
     print(
         f"  plan sort       {row['plan_sort_ms']:8.2f} ms  "
         f"({row['speedup_sort']:.1f}x, deterministic)"
+    )
+    print(
+        f"  bandwidth: scatter {row['scatter_gbps']:.1f} GB/s, "
+        f"gather {row['gather_gbps']:.1f} GB/s"
     )
 
 

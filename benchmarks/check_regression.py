@@ -4,9 +4,10 @@
 Compares a fresh ``BENCH_variants.json`` against the committed baseline
 (``benchmarks/bench_baseline.json``) and warns when a variant's real wall
 clock regressed by more than the threshold (default 20%).  Entries are
-matched like-for-like on ``(benchmark, variant, vector_dim, mode)`` --
-wall clock scales with the vector length, so only same-``vector_dim``
-measurements are ever compared.  Model runtimes are compared too, but
+matched like-for-like on ``(benchmark, variant, vector_dim, mode,
+ordering, executor)`` -- wall clock scales with the vector length, the
+mesh ordering and the executor, so only measurements with all of them
+equal are ever compared.  Model runtimes are compared too, but
 those are deterministic -- any drift there means the machine model itself
 changed.
 
@@ -50,13 +51,18 @@ def _entry_key(entry: dict) -> tuple:
     Wall clock scales with the group size, so entries are only comparable
     when benchmark kind, variant, ``vector_dim`` AND execution mode all
     match -- a baseline measured at ``vector_dim=64`` must never gate a
-    fresh ``vector_dim=1024`` run (or interpreted vs compiled).
+    fresh ``vector_dim=1024`` run (or interpreted vs compiled).  The
+    locality rows add two more axes: the mesh ``ordering`` (seed vs an
+    SFC/RCM permutation) and the ``executor`` (serial vs threads) change
+    the wall clock by design, so they are part of the key too.
     """
     return (
         entry.get("benchmark", "variants"),
         entry["variant"],
         entry.get("vector_dim"),
         entry.get("mode"),
+        entry.get("ordering"),
+        entry.get("executor"),
     )
 
 
@@ -75,10 +81,14 @@ def compare(bench: dict, baseline: dict, threshold: float) -> list:
         ref = base.get(key)
         if ref is None:
             continue
-        benchmark, variant, vector_dim, _mode = key
+        benchmark, variant, vector_dim, _mode, ordering, executor = key
         label = variant if benchmark == "variants" else f"{benchmark}/{variant}"
         if vector_dim is not None:
             label += f"@vd{vector_dim}"
+        if ordering not in (None, "none"):
+            label += f"+{ordering}"
+        if executor not in (None, "serial"):
+            label += f"+{executor}"
         for field in _FIELDS:
             old, new = ref.get(field), entry.get(field)
             if old is None or new is None or old <= 0:

@@ -41,7 +41,9 @@ from .unified import (
 )
 from .autotune import (
     DEFAULT_CANDIDATES,
+    DEFAULT_CHUNK_CANDIDATES,
     AutotuneResult,
+    autotune_chunk_groups,
     autotune_vector_dim,
     write_autotune_report,
 )
@@ -59,7 +61,8 @@ __all__ = [
     "TapeReport", "compiled_tape", "record_program",
     "CPU_VECTOR_DIM", "GPU_VECTOR_DIM", "SpecializationError",
     "UnifiedAssembler",
-    "DEFAULT_CANDIDATES", "AutotuneResult", "autotune_vector_dim",
+    "DEFAULT_CANDIDATES", "DEFAULT_CHUNK_CANDIDATES", "AutotuneResult",
+    "autotune_chunk_groups", "autotune_vector_dim",
     "write_autotune_report",
     "OptimizationStudy", "PAPER_NELEM",
 ]

@@ -543,6 +543,8 @@ class CompiledTape:
         pattern = plan.scatter_pattern(key)
         registry = get_registry()
         if pattern is None:
+            from ..fem.plan import seed_flush_order
+
             active3 = np.stack([g.active for g in groups])  # (G, vd)
             indices = np.empty(
                 (self.ngroups, ncalls, self.vector_dim), dtype=np.int64
@@ -550,8 +552,17 @@ class CompiledTape:
             for c, (slot, comp) in enumerate(program.scatter_calls):
                 icol = conn3[:, :, slot] * self.ncomp + comp
                 np.copyto(indices[:, c, :], np.where(active3, icol, trash))
+            order = None
+            seed_ids = mesh.seed_element_ids
+            if seed_ids is not None:
+                lane_seed = np.concatenate(
+                    [seed_ids[g.element_ids] for g in groups]
+                )
+                order = seed_flush_order(
+                    lane_seed, active3.reshape(-1), ncalls, self.vector_dim
+                )
             pattern = plan.store_scatter_pattern(
-                key, indices.reshape(-1), signature
+                key, indices.reshape(-1), signature, order=order
             )
             registry.counter("scatter.pattern_builds").inc()
         else:
@@ -568,31 +579,93 @@ class CompiledTape:
         self._mask = np.empty(nlane, dtype=bool)
         self._values = np.empty((self.ngroups, ncalls, self.vector_dim))
         self._values_flat = self._values.reshape(-1)
-        # per-scatter (dst view, src view-or-scalar) pairs, bound once
-        self._scatters: List[tuple] = []
-        for op in program.ops:
-            if op[0] != 5:
-                continue
-            _, call, slot, comp, src = op
-            dst = self._values[:, call, :]
-            if not _is_scalar(src):
-                src = self._arena[src].reshape(self.ngroups, self.vector_dim)
-            self._scatters.append((dst, src))
         self._ufuncs = {name: _ufunc(name) for name in _UFUNC_NAMES.values()}
 
     @property
     def report(self) -> TapeReport:
         return self.program.report
 
-    def execute(
-        self, velocity: np.ndarray, rhs: Optional[np.ndarray] = None
-    ) -> np.ndarray:
-        """Assemble the momentum RHS, accumulating into ``rhs`` in place."""
+    def _execute_ops_slice(
+        self, g0: int, g1: int, arena: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Replay the tape over groups ``[g0, g1)`` into ``arena``.
+
+        Scatter values land in the chunk's rows of the shared
+        ``self._values`` buffer -- disjoint slices per chunk, so
+        concurrent chunk executions never write the same memory.  All
+        other shared state (gather indices, coordinate/velocity columns)
+        is read-only during a sweep, which is what makes the threaded
+        executor race-free.
+        """
+        vd = self.vector_dim
+        lo = g0 * vd
+        n = (g1 - g0) * vd
+        nrows = g1 - g0
+        lanes = slice(lo, lo + n)
+        A = arena if arena.shape[1] == n else arena[:, :n]
+        m = mask if mask.shape[0] == n else mask[:n]
+        values = self._values
+        ufuncs = self._ufuncs
+        ccols = self._ccols
+        vcols = self._vcols
+        idx = self._idx
+        for op in self.program.ops:
+            code = op[0]
+            if code == 0:
+                _, uf, a, b, out = op
+                ufuncs[uf](
+                    a if _is_scalar(a) else A[a],
+                    b if _is_scalar(b) else A[b],
+                    out=A[out],
+                )
+            elif code == 1:
+                _, uf, a, out = op
+                ufuncs[uf](a if _is_scalar(a) else A[a], out=A[out])
+            elif code == 2:
+                _, x, a, b, thresh, out = op
+                # mask first (x-aliasing safe), then b, then a-over-mask
+                np.greater(A[x], thresh, out=m)
+                dst = A[out]
+                if _is_scalar(b):
+                    dst[...] = b
+                else:
+                    dst[...] = A[b]
+                np.copyto(dst, a if _is_scalar(a) else A[a], where=m)
+            elif code == 3:
+                _, slot, comp, out = op
+                np.take(ccols[comp], idx[slot][lanes], out=A[out])
+            elif code == 4:
+                _, field, slot, comp, out = op
+                np.take(vcols[comp], idx[slot][lanes], out=A[out])
+            else:  # code == 5: deferred scatter into the values buffer
+                _, call, slot, comp, src = op
+                dst = values[g0:g1, call, :]
+                if _is_scalar(src):
+                    dst[...] = src
+                else:
+                    np.copyto(dst, A[src].reshape(nrows, vd))
+
+    def _flush(self, rhs: np.ndarray) -> None:
+        from ..fem.plan import flush_pattern
+
+        with self.tracer.span("scatter.flush", variant=self.program.variant):
+            flush_pattern(
+                self._pattern, self._values_flat, rhs, self.nnode, self.ncomp
+            )
+
+    def _check_velocity(self, velocity: np.ndarray) -> np.ndarray:
         velocity = np.asarray(velocity, dtype=np.float64)
         if velocity.shape != (self.nnode, 3):
             raise ValueError(
                 f"velocity must be ({self.nnode}, 3), got {velocity.shape}"
             )
+        return velocity
+
+    def execute(
+        self, velocity: np.ndarray, rhs: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Assemble the momentum RHS, accumulating into ``rhs`` in place."""
+        velocity = self._check_velocity(velocity)
         if rhs is None:
             rhs = np.zeros((self.nnode, self.ncomp))
         with self.tracer.span(
@@ -602,57 +675,91 @@ class CompiledTape:
             nlane=self.nlane,
         ):
             np.copyto(self._vcols, velocity.T)
-            arena = self._arena
-            mask = self._mask
-            scatters = self._scatters
-            ufuncs = self._ufuncs
-            isc = 0
-            for op in self.program.ops:
-                code = op[0]
-                if code == 0:
-                    _, uf, a, b, out = op
-                    ufuncs[uf](
-                        a if _is_scalar(a) else arena[a],
-                        b if _is_scalar(b) else arena[b],
-                        out=arena[out],
-                    )
-                elif code == 1:
-                    _, uf, a, out = op
-                    ufuncs[uf](a if _is_scalar(a) else arena[a], out=arena[out])
-                elif code == 2:
-                    _, x, a, b, thresh, out = op
-                    # mask first (x-aliasing safe), then b, then a-over-mask
-                    np.greater(arena[x], thresh, out=mask)
-                    dst = arena[out]
-                    if _is_scalar(b):
-                        dst[...] = b
-                    else:
-                        dst[...] = arena[b]
-                    np.copyto(dst, a if _is_scalar(a) else arena[a], where=mask)
-                elif code == 3:
-                    _, slot, comp, out = op
-                    np.take(self._ccols[comp], self._idx[slot], out=arena[out])
-                elif code == 4:
-                    _, field, slot, comp, out = op
-                    np.take(self._vcols[comp], self._idx[slot], out=arena[out])
-                else:  # code == 5: deferred scatter into the values buffer
-                    dst, src = scatters[isc]
-                    isc += 1
-                    if _is_scalar(src):
-                        dst[...] = src
-                    else:
-                        np.copyto(dst, src)
-            from ..fem.plan import flush_pattern
-
-            with self.tracer.span(
-                "scatter.flush", variant=self.program.variant
-            ):
-                flush_pattern(
-                    self._pattern, self._values_flat, rhs, self.nnode, self.ncomp
-                )
+            self._execute_ops_slice(0, self.ngroups, self._arena, self._mask)
+            self._flush(rhs)
         registry = get_registry()
         registry.counter("tape.executions").inc()
         registry.counter("tape.lanes_executed").inc(self.nlane)
+        return rhs
+
+    def _run_chunk(self, g0: int, g1: int, slabs) -> None:
+        arena, mask = slabs.acquire()
+        try:
+            self._execute_ops_slice(g0, g1, arena, mask)
+        finally:
+            slabs.release(arena, mask)
+
+    def execute_chunked(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assemble via cache-sized group chunks on a thread pool.
+
+        The lane axis is split into chunks of ``chunk_groups`` element
+        groups; each chunk replays the tape into a per-thread arena slab
+        (numpy ufuncs drop the GIL, so chunks genuinely overlap) and
+        writes its scatter values into a disjoint slice of the shared
+        values buffer.  The final ``bincount`` flush runs serially on the
+        full buffer afterwards, so the result is **bitwise identical** to
+        :meth:`execute` regardless of thread count or scheduling order.
+
+        ``chunk_groups`` resolves explicit argument > the plan's autotuned
+        winner (:func:`repro.core.autotune.autotune_chunk_groups`) > a
+        cache-footprint heuristic; ``num_threads`` defaults to the CPU
+        count.
+        """
+        from ..parallel import threads as _threads
+
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.nnode, self.ncomp))
+        nthreads = _threads.resolve_num_threads(num_threads)
+        cg = chunk_groups
+        if cg is None:
+            cg = self.plan.tuned_chunk_groups(self.program.variant)
+        if cg is None:
+            cg = _threads.default_chunk_groups(
+                self.program.nbufs, self.vector_dim, self.ngroups, nthreads
+            )
+        cg = max(1, min(int(cg), self.ngroups))
+        bounds = list(range(0, self.ngroups, cg)) + [self.ngroups]
+        chunks = list(zip(bounds[:-1], bounds[1:]))
+        with self.tracer.span(
+            "tape.execute_chunked",
+            variant=self.program.variant,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+            chunks=len(chunks),
+            threads=nthreads,
+            chunk_groups=cg,
+        ):
+            np.copyto(self._vcols, velocity.T)
+            threaded = nthreads > 1 and len(chunks) > 1
+            if not threaded:
+                for g0, g1 in chunks:
+                    self._execute_ops_slice(g0, g1, self._arena, self._mask)
+            else:
+                slabs = _threads.SlabPool(
+                    max(self.program.nbufs, 1),
+                    cg * self.vector_dim,
+                    min(nthreads, len(chunks)),
+                )
+                pool = _threads.get_thread_pool(nthreads)
+                for future in [
+                    pool.submit(self._run_chunk, g0, g1, slabs)
+                    for g0, g1 in chunks
+                ]:
+                    future.result()
+            self._flush(rhs)
+        registry = get_registry()
+        registry.counter("tape.executions").inc()
+        registry.counter("tape.lanes_executed").inc(self.nlane)
+        registry.counter("locality.chunks_executed").inc(len(chunks))
+        if threaded:
+            registry.counter("locality.threaded_executions").inc()
         return rhs
 
 

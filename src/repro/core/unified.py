@@ -125,6 +125,22 @@ class UnifiedAssembler:
         into a single precomputed ``bincount`` reduction.  Disable to run
         the seed per-call ``np.add.at`` path (bit-identical results; the
         equivalence tests rely on this switch).
+    executor:
+        ``"serial"`` (default) replays the whole lane axis in one sweep;
+        ``"threads"`` (compiled mode only) splits element groups into
+        cache-sized chunks executed on a shared
+        :class:`~concurrent.futures.ThreadPoolExecutor` with per-thread
+        arena slabs (:meth:`~repro.core.tape.CompiledTape.execute_chunked`).
+        The threaded reduction order is fixed, so results stay bitwise
+        identical to the serial executor.
+    num_threads:
+        Thread count for ``executor="threads"``; defaults to the CPU
+        count (``REPRO_NUM_THREADS`` overrides).
+    chunk_groups:
+        Chunk size (element groups per chunk) for the threaded executor;
+        ``None`` resolves to the plan's autotuned winner
+        (:func:`repro.core.autotune.autotune_chunk_groups`) or a cache
+        heuristic.
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan`; an
         ``("assembler", "nan"/"inf")`` fault corrupts one lane of the
@@ -140,6 +156,9 @@ class UnifiedAssembler:
     use_plan: bool = True
     mode: str = "interpreted"
     fault_plan: Optional[object] = dataclasses.field(default=None, repr=False)
+    executor: str = "serial"
+    num_threads: Optional[int] = None
+    chunk_groups: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("interpreted", "compiled"):
@@ -152,6 +171,18 @@ class UnifiedAssembler:
                 "mode='compiled' requires use_plan=True: the kernel tape "
                 "is cached on the mesh's AssemblyPlan"
             )
+        if self.executor not in ("serial", "threads"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'serial' or 'threads'"
+            )
+        if self.executor == "threads" and self.mode != "compiled":
+            raise ValueError(
+                "executor='threads' requires mode='compiled': only the "
+                "tape replay drops the GIL inside numpy ufuncs; the "
+                "interpreted per-group backend would serialize on it"
+            )
+        self._mesh_version = getattr(self.mesh, "_version", 0)
         if self.use_plan:
             self.plan = get_plan(self.mesh)
         else:
@@ -170,6 +201,23 @@ class UnifiedAssembler:
             if self.vector_dim is not None
             else CPU_VECTOR_DIM
         )
+
+    def _refresh_caches(self) -> None:
+        """Re-resolve plan/packing when the mesh numbering changed.
+
+        Any in-place mutation (:meth:`~repro.fem.mesh.TetMesh.mutate`,
+        e.g. a renumbering or reorientation) bumps the mesh's structural
+        version; an assembler constructed before the mutation must never
+        replay scatter patterns, tapes or packed groups gathered against
+        the old numbering.
+        """
+        version = getattr(self.mesh, "_version", 0)
+        if version == self._mesh_version:
+            return
+        self._mesh_version = version
+        self.plan = get_plan(self.mesh) if self.use_plan else None
+        self._packings.clear()
+        self.packing = self._packing(self.packing.vector_dim)
 
     def resolve_vector_dim(self, variant_name: str) -> int:
         """The group size a variant assembles with.
@@ -229,6 +277,7 @@ class UnifiedAssembler:
                 f"velocity must be ({self.mesh.nnode}, 3), got {velocity.shape}"
             )
         rhs = np.zeros((self.mesh.nnode, 3))
+        self._refresh_caches()
         vector_dim = self.resolve_vector_dim(variant.name)
         with self.tracer.span(
             "assemble",
@@ -237,6 +286,7 @@ class UnifiedAssembler:
             vector_dim=vector_dim,
             mode=self.mode,
             plan=bool(self.use_plan),
+            executor=self.executor,
         ):
             if self.mode == "compiled":
                 tape = compiled_tape(
@@ -247,7 +297,15 @@ class UnifiedAssembler:
                     kernel_params=self._kernel_params,
                     tracer=self.tracer,
                 )
-                rhs = tape.execute(velocity, rhs)
+                if self.executor == "threads":
+                    rhs = tape.execute_chunked(
+                        velocity,
+                        rhs,
+                        num_threads=self.num_threads,
+                        chunk_groups=self.chunk_groups,
+                    )
+                else:
+                    rhs = tape.execute(velocity, rhs)
                 self._maybe_corrupt(rhs)
                 return rhs
             packing = (
@@ -283,6 +341,7 @@ class UnifiedAssembler:
         _check_specialization(variant, self.params)
         if velocity is None:
             velocity = np.zeros((self.mesh.nnode, 3))
+        self._refresh_caches()
         group = self.packing.group(group_index)
         rhs = np.zeros((self.mesh.nnode, 3))
         with self.tracer.span(

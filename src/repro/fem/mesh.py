@@ -13,8 +13,9 @@ matching both Alya's layout and what the vectorized element packing in
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -86,20 +87,30 @@ class TetMesh:
         connectivity: np.ndarray,
         validate: bool = True,
     ) -> None:
-        self.coords = np.ascontiguousarray(coords, dtype=np.float64)
-        self.connectivity = np.ascontiguousarray(connectivity, dtype=np.int64)
-        if self.coords.ndim != 2 or self.coords.shape[1] != 3:
+        # Private copies, frozen: every permutation-sensitive cache
+        # (AssemblyPlan scatter patterns, compiled tapes, packed groups)
+        # keys on the mesh arrays, so out-of-band writes would silently
+        # replay stale patterns.  All mutation goes through
+        # :meth:`mutate`, which bumps the structural version.
+        self._coords = np.array(coords, dtype=np.float64, order="C")
+        self._connectivity = np.array(connectivity, dtype=np.int64, order="C")
+        self._coords.flags.writeable = False
+        self._connectivity.flags.writeable = False
+        if self._coords.ndim != 2 or self._coords.shape[1] != 3:
             raise MeshValidationError(
-                f"coords must be (nnode, 3), got {self.coords.shape}"
+                f"coords must be (nnode, 3), got {self._coords.shape}"
             )
-        if self.connectivity.ndim != 2 or self.connectivity.shape[1] != 4:
+        if self._connectivity.ndim != 2 or self._connectivity.shape[1] != 4:
             raise MeshValidationError(
-                f"connectivity must be (nelem, 4), got {self.connectivity.shape}"
+                f"connectivity must be (nelem, 4), got "
+                f"{self._connectivity.shape}"
             )
         self._node_to_elem: Dict[int, np.ndarray] | None = None
-        # Structural version: bumped whenever connectivity changes in
-        # place, so mesh-lifetime caches (repro.fem.plan) can invalidate.
+        # Structural version: bumped whenever coords/connectivity change
+        # in place, so mesh-lifetime caches (repro.fem.plan) can
+        # invalidate.
         self._version = 0
+        self._seed_element_ids: Optional[np.ndarray] = None
         if validate:
             self.validate()
 
@@ -107,14 +118,61 @@ class TetMesh:
     # Basic properties
     # ------------------------------------------------------------------
     @property
+    def coords(self) -> np.ndarray:
+        """``(nnode, 3)`` node coordinates (read-only; see :meth:`mutate`)."""
+        return self._coords
+
+    @property
+    def connectivity(self) -> np.ndarray:
+        """``(nelem, 4)`` element node ids (read-only; see :meth:`mutate`)."""
+        return self._connectivity
+
+    @property
+    def seed_element_ids(self) -> Optional[np.ndarray]:
+        """Element provenance of a reordered mesh, or ``None``.
+
+        ``seed_element_ids[k]`` is the position element ``k`` occupied in
+        the *seed* (pre-reordering) mesh.  The deferred-scatter paths use
+        this to flush RHS contributions in canonical seed order, making
+        assembly on a reordered mesh bit-consistent with the seed mesh
+        (see :mod:`repro.fem.reorder`).
+        """
+        return self._seed_element_ids
+
+    def _set_seed_element_ids(self, ids: np.ndarray) -> None:
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        ids.flags.writeable = False
+        self._seed_element_ids = ids
+
+    @contextlib.contextmanager
+    def mutate(self):
+        """Context manager granting in-place write access to the arrays.
+
+        On exit the arrays are re-frozen, derived adjacency caches are
+        dropped and the structural version is bumped -- so any
+        :class:`~repro.fem.plan.AssemblyPlan` (and every scatter pattern,
+        packing and compiled tape cached on it) built against the old
+        numbering can never be replayed against the new one.
+        """
+        self._coords.flags.writeable = True
+        self._connectivity.flags.writeable = True
+        try:
+            yield self
+        finally:
+            self._coords.flags.writeable = False
+            self._connectivity.flags.writeable = False
+            self._node_to_elem = None
+            self._version += 1
+
+    @property
     def nnode(self) -> int:
         """Number of nodes."""
-        return self.coords.shape[0]
+        return self._coords.shape[0]
 
     @property
     def nelem(self) -> int:
         """Number of tetrahedral elements."""
-        return self.connectivity.shape[0]
+        return self._connectivity.shape[0]
 
     def element_coords(self, elems: np.ndarray | slice | None = None) -> np.ndarray:
         """Gather node coordinates per element: ``(nelem_sel, 4, 3)``."""
@@ -164,13 +222,12 @@ class TetMesh:
         bad = vols < 0.0
         nbad = int(bad.sum())
         if nbad:
-            conn = self.connectivity
-            conn[bad, 1], conn[bad, 2] = (
-                conn[bad, 2].copy(),
-                conn[bad, 1].copy(),
-            )
-            self._node_to_elem = None
-            self._version += 1
+            with self.mutate():
+                conn = self._connectivity
+                conn[bad, 1], conn[bad, 2] = (
+                    conn[bad, 2].copy(),
+                    conn[bad, 1].copy(),
+                )
         return nbad
 
     # ------------------------------------------------------------------
@@ -293,9 +350,27 @@ class TetMesh:
             raise MeshValidationError("permutation must be a bijection on nodes")
         inv = np.empty_like(perm)
         inv[perm] = np.arange(self.nnode)
-        return TetMesh(
+        out = TetMesh(
             self.coords[inv], perm[self.connectivity], validate=False
         )
+        # Pure node relabelling keeps element order, so seed provenance
+        # (and with it bit-consistency of the deferred scatter) carries over.
+        if self._seed_element_ids is not None:
+            out._set_seed_element_ids(self._seed_element_ids)
+        return out
+
+    def reordered(self, strategy: str = "hilbert+rcm", bits: int = 10):
+        """Locality-improving reordering; see :func:`repro.fem.reorder.reorder_mesh`.
+
+        Returns a :class:`~repro.fem.reorder.ReorderResult` whose ``mesh``
+        has elements visited in space-filling-curve order and/or nodes
+        renumbered by reverse Cuthill-McKee, plus the permutations mapping
+        fields between the two numberings.  Assembly on the reordered mesh
+        is bit-consistent with this mesh after mapping the result back.
+        """
+        from .reorder import reorder_mesh
+
+        return reorder_mesh(self, strategy, bits=bits)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TetMesh(nnode={self.nnode}, nelem={self.nelem})"

@@ -51,6 +51,7 @@ from .packing import ElementGroup, ElementPacking
 __all__ = [
     "segment_scatter",
     "flush_pattern",
+    "seed_flush_order",
     "ScatterPlan",
     "GeometryCache",
     "ScatterAccumulator",
@@ -195,11 +196,67 @@ class GeometryCache:
 
 @dataclasses.dataclass(frozen=True)
 class _ScatterPattern:
-    """Cached index pattern of one full DSL assembly sweep."""
+    """Cached index pattern of one full DSL assembly sweep.
+
+    ``order``, when present, is the canonical *seed-order* flush
+    permutation of a reordered mesh (see :func:`seed_flush_order`):
+    ``indices`` are then stored already permuted and the flush gathers
+    ``values[order]`` so contributions reduce in the exact temporal order
+    the seed-mesh assembly would have used -- bit-identical per node.
+    """
 
     indices: np.ndarray  # (total,) flattened (node*ncomp + comp) + trash bin
     signature: Tuple[Tuple[int, int, int], ...]  # (group, slot, comp) per call
     length: int
+    order: Optional[np.ndarray] = None  # flush permutation (seed order)
+
+
+def seed_flush_order(
+    lane_seed: np.ndarray,
+    active: np.ndarray,
+    ncalls: int,
+    vector_dim: int,
+) -> Optional[np.ndarray]:
+    """Flush permutation restoring a reordered mesh's seed scatter order.
+
+    A sweep's scatter values are laid out ``(ngroups, ncalls, vector_dim)``
+    and reduced by a single sequential ``bincount``; per global-RHS bin,
+    float summation order -- hence the last-ulp rounding -- follows that
+    layout.  Element reordering permutes lanes, so a reordered mesh's
+    natural flush would fold each node's contributions in a different
+    order than the seed mesh's.
+
+    Elemental values themselves are bit-exact under reordering (every DSL
+    op is an elementwise float64 ufunc), so replaying the *seed* flush
+    order is sufficient for bitwise identity: lane ``l`` holding seed
+    element ``s = lane_seed[l]`` contributed, in the seed sweep at the
+    same ``vector_dim``, its call-``c`` value at flat position
+    ``(s // vd) * ncalls * vd + c * vd + (s % vd)``.  The stable argsort
+    of those positions is the permutation; padding lanes sort to the end
+    (their contributions go to the trash bin regardless).
+
+    Returns ``None`` when the order is already canonical (seed meshes,
+    pure node renumberings) so the common path pays nothing.
+    """
+    lane_seed = np.asarray(lane_seed, dtype=np.int64)
+    active = np.asarray(active, dtype=bool)
+    vd = int(vector_dim)
+    ncalls = int(ncalls)
+    nlane = lane_seed.shape[0]
+    if nlane == 0 or ncalls == 0:
+        return None
+    ngroups = nlane // vd
+    base = (lane_seed // vd) * (ncalls * vd) + (lane_seed % vd)
+    pos = base.reshape(ngroups, 1, vd) + (
+        np.arange(ncalls, dtype=np.int64) * vd
+    ).reshape(1, ncalls, 1)
+    pos = np.where(
+        active.reshape(ngroups, 1, vd), pos, np.iinfo(np.int64).max
+    )
+    order = np.argsort(pos.reshape(-1), kind="stable")
+    if np.array_equal(order, np.arange(order.shape[0])):
+        return None
+    return _readonly(order)
 
 
 def flush_pattern(
@@ -216,11 +273,16 @@ def flush_pattern(
     ``bincount`` over the precomputed index pattern, sequential in buffer
     order -- bit-identical to per-call ``np.add.at`` on a zero target.
     The trash bin (one slot past the real ``nnode * ncomp`` bins) absorbs
-    padding-lane contributions.
+    padding-lane contributions.  Patterns carrying a seed-order ``order``
+    (reordered meshes) gather the values through it first, reducing in
+    the seed mesh's temporal order instead -- see :func:`seed_flush_order`.
     """
     registry = get_registry()
     registry.counter("scatter.bincount_calls").inc()
     registry.counter("scatter.values_reduced").inc(values.size)
+    if pattern.order is not None:
+        values = values[pattern.order]
+        registry.counter("scatter.seed_order_flushes").inc()
     trash = int(nnode) * int(ncomp)
     out = np.bincount(pattern.indices, weights=values, minlength=trash + 1)
     rhs += out[:trash].reshape(nnode, ncomp)
@@ -262,6 +324,12 @@ class ScatterAccumulator:
         if self._pattern is None:
             self._idx_chunks: list = []
             self._val_chunks: list = []
+            # Seed provenance of a reordered mesh: collect per-group lane
+            # seeds so finalize can build the canonical flush order.
+            self._seed_ids = plan.mesh.seed_element_ids
+            self._lane_seed_chunks: list = []
+            self._active_chunks: list = []
+            self._vector_dim = 0
         else:
             self._values = np.empty(self._pattern.length, dtype=np.float64)
         self._pos = 0
@@ -269,6 +337,10 @@ class ScatterAccumulator:
     def begin_group(self, group: ElementGroup) -> None:
         """Declare the element group subsequent :meth:`add` calls belong to."""
         self._group = group
+        if self._pattern is None and self._seed_ids is not None:
+            self._lane_seed_chunks.append(self._seed_ids[group.element_ids])
+            self._active_chunks.append(group.active)
+            self._vector_dim = group.vector_dim
 
     def add(self, node_slot: int, component: int, payload) -> None:
         """Record one lane-wide scatter call (values in lane order)."""
@@ -304,10 +376,22 @@ class ScatterAccumulator:
             else:
                 indices = np.zeros(0, dtype=np.int64)
                 values = np.zeros(0, dtype=np.float64)
+            order = None
+            if self._lane_seed_chunks and self._signature:
+                ngroups = self._signature[-1][0] + 1
+                order = seed_flush_order(
+                    np.concatenate(self._lane_seed_chunks),
+                    np.concatenate(self._active_chunks),
+                    len(self._signature) // ngroups,
+                    self._vector_dim,
+                )
+            if order is not None:
+                indices = np.ascontiguousarray(indices[order])
             pattern = _ScatterPattern(
                 indices=_readonly(indices),
                 signature=tuple(self._signature),
                 length=int(indices.shape[0]),
+                order=order,
             )
             self._plan._patterns[self._key] = pattern
             registry.counter("scatter.pattern_builds").inc()
@@ -348,6 +432,7 @@ class AssemblyPlan:
         self._patterns: Dict[Tuple, _ScatterPattern] = {}
         self._tapes: Dict[Tuple, object] = {}
         self._tuned_vector_dim: Dict[str, int] = {}
+        self._tuned_chunk_groups: Dict[str, int] = {}
         get_registry().counter("plan.builds").inc()
 
     # -- cached geometry -------------------------------------------------
@@ -426,6 +511,7 @@ class AssemblyPlan:
         key: Tuple,
         indices: np.ndarray,
         signature: Tuple[Tuple[int, int, int], ...],
+        order: Optional[np.ndarray] = None,
     ) -> _ScatterPattern:
         """Register a sweep's scatter index pattern and return it.
 
@@ -434,12 +520,18 @@ class AssemblyPlan:
         object the interpreted :class:`ScatterAccumulator` would have
         built (same key, same signature, same flattened index order), so
         interpreted and compiled sweeps of one configuration share it.
+        ``order``, when given (reordered meshes), is the seed flush
+        permutation; ``indices`` must be in *buffer* order and are stored
+        permuted through it.
         """
-        indices = _readonly(np.ascontiguousarray(indices, dtype=np.int64))
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if order is not None:
+            indices = np.ascontiguousarray(indices[order])
         pattern = _ScatterPattern(
-            indices=indices,
+            indices=_readonly(indices),
             signature=tuple(signature),
             length=int(indices.shape[0]),
+            order=order,
         )
         self._patterns[key] = pattern
         return pattern
@@ -467,6 +559,18 @@ class AssemblyPlan:
         get_registry().gauge(
             f"tape.tuned_vector_dim.{variant.upper()}"
         ).set(int(vector_dim))
+
+    # -- autotuned threaded chunk size ---------------------------------------
+    def tuned_chunk_groups(self, variant: str) -> Optional[int]:
+        """Autotuned threaded-executor chunk size (groups), if recorded."""
+        return self._tuned_chunk_groups.get(variant.upper())
+
+    def set_tuned_chunk_groups(self, variant: str, chunk_groups: int) -> None:
+        """Persist an autotuned threaded chunk size on the plan."""
+        self._tuned_chunk_groups[variant.upper()] = int(chunk_groups)
+        get_registry().gauge(
+            f"locality.tuned_chunk_groups.{variant.upper()}"
+        ).set(int(chunk_groups))
 
     # -- deferred DSL scatter ---------------------------------------------
     def accumulator(self, key: Tuple, ncomp: int = 3) -> ScatterAccumulator:

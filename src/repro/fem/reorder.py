@@ -1,0 +1,369 @@
+"""Locality-improving mesh orderings: SFC element orders + RCM node numbering.
+
+The RS/RSP/RSPR variants are memory-bandwidth bound: their wall clock is
+set by the coordinate/velocity gathers and the RHS scatter, i.e. by how
+well consecutive elements reuse cached node data.  Two classic orderings
+attack that locality:
+
+* **Space-filling-curve element ordering** (Morton / Hilbert): elements
+  are visited in the order of their centroid's position along a
+  space-filling curve, so consecutive lanes of a ``VECTOR_DIM`` group
+  touch spatially adjacent -- hence cache-resident -- nodes.
+* **Reverse Cuthill-McKee node renumbering**: nodes are relabelled by a
+  reversed breadth-first sweep of the node adjacency graph, shrinking
+  the connectivity bandwidth ``max |i - j|`` over element edges so the
+  gathered node ids of one element group span a narrow index window.
+
+:func:`reorder_mesh` (exposed as :meth:`repro.fem.mesh.TetMesh.reordered`)
+combines both and returns a :class:`ReorderResult` carrying the permuted
+mesh plus the forward/inverse maps needed to transport nodal fields
+between the two numberings.  The reordered mesh records its elements'
+positions in the *seed* ordering (``TetMesh.seed_element_ids``); the
+deferred-scatter paths use that provenance to flush contributions in
+canonical seed order, which keeps assembled RHS values **bit-identical**
+(after mapping through :meth:`ReorderResult.to_seed_nodal`) to the
+seed-order assembly -- see ``seed_flush_order`` in :mod:`repro.fem.plan`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .mesh import TetMesh
+
+__all__ = [
+    "STRATEGIES",
+    "ReorderResult",
+    "bandwidth_stats",
+    "hilbert_keys",
+    "morton_keys",
+    "element_order",
+    "rcm_node_permutation",
+    "reorder_mesh",
+]
+
+#: supported strategy atoms; combine as ``"<sfc>+rcm"`` (e.g. ``"hilbert+rcm"``)
+STRATEGIES = ("none", "morton", "hilbert", "rcm", "morton+rcm", "hilbert+rcm")
+
+_ONE = np.uint64(1)
+
+
+# ---------------------------------------------------------------------------
+# Space-filling-curve keys
+# ---------------------------------------------------------------------------
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x`` so each lands every third bit."""
+    x = x.astype(np.uint64)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def morton_keys(ixyz: np.ndarray) -> np.ndarray:
+    """Morton (Z-curve) keys of integer grid coordinates ``(n, 3)``.
+
+    Bit ``3k + axis`` of the key is bit ``k`` of that axis, so sorting by
+    the key visits the grid in Z order.  Coordinates must fit in 21 bits.
+    """
+    ixyz = np.asarray(ixyz, dtype=np.uint64)
+    return (
+        _part1by2(ixyz[:, 0])
+        | (_part1by2(ixyz[:, 1]) << _ONE)
+        | (_part1by2(ixyz[:, 2]) << np.uint64(2))
+    )
+
+
+def hilbert_keys(ixyz: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert-curve keys of integer grid coordinates ``(n, 3)``.
+
+    Vectorized Skilling transform ("Programming the Hilbert curve", AIP
+    2004): axes are converted to the transposed Hilbert representation in
+    place, then bit-interleaved (most significant axis first) into a
+    single sortable key.  Unlike Morton order, consecutive keys are
+    face-adjacent grid cells -- the property the locality tests assert.
+    """
+    x = np.array(ixyz, dtype=np.uint64, copy=True)
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise ValueError(f"ixyz must be (n, 3), got {x.shape}")
+    if bits < 1 or 3 * bits > 63:
+        raise ValueError("bits must be in [1, 21]")
+    n = 3
+    # AxesToTranspose: inverse-undo sweep from the top bit down.
+    q = _ONE << np.uint64(bits - 1)
+    while q > _ONE:
+        p = q - _ONE
+        for i in range(n):
+            hi = (x[:, i] & q) != 0
+            # invert low bits of axis 0 where bit q of axis i is set ...
+            x[hi, 0] ^= p
+            # ... else exchange the low bits of axes 0 and i.
+            lo = ~hi
+            t = (x[lo, 0] ^ x[lo, i]) & p
+            x[lo, 0] ^= t
+            x[lo, i] ^= t
+        q >>= _ONE
+    # Gray encode.
+    for i in range(1, n):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(x.shape[0], dtype=np.uint64)
+    q = _ONE << np.uint64(bits - 1)
+    while q > _ONE:
+        sel = (x[:, n - 1] & q) != 0
+        t[sel] ^= q - _ONE
+        q >>= _ONE
+    for i in range(n):
+        x[:, i] ^= t
+    # Interleave transposed axes, axis 0 supplying the MSB of each level.
+    return (
+        _part1by2(x[:, 2])
+        | (_part1by2(x[:, 1]) << _ONE)
+        | (_part1by2(x[:, 0]) << np.uint64(2))
+    )
+
+
+def _quantize(points: np.ndarray, bits: int) -> np.ndarray:
+    """Scale ``(n, 3)`` points to the ``[0, 2**bits)`` integer grid."""
+    points = np.asarray(points, dtype=np.float64)
+    lo = points.min(axis=0)
+    span = points.max(axis=0) - lo
+    span[span <= 0.0] = 1.0  # degenerate axis: everything maps to cell 0
+    side = (1 << bits) - 1
+    return np.minimum(
+        (points - lo) / span * side, side
+    ).astype(np.uint64)
+
+
+def element_order(
+    mesh: TetMesh, strategy: str = "hilbert", bits: int = 10
+) -> np.ndarray:
+    """SFC visiting order of the elements: position ``k`` holds the id of
+    the ``k``-th element along the curve of its centroid.
+
+    Ties (centroids quantized to the same cell) break by element id, so
+    the order is a deterministic function of the mesh alone.
+    """
+    if strategy not in ("morton", "hilbert"):
+        raise ValueError(
+            f"unknown SFC strategy {strategy!r}; expected 'morton' or 'hilbert'"
+        )
+    centroids = mesh.coords[mesh.connectivity].mean(axis=1)
+    grid = _quantize(centroids, bits)
+    keys = morton_keys(grid) if strategy == "morton" else hilbert_keys(grid, bits)
+    return np.argsort(keys, kind="stable").astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Reverse Cuthill-McKee
+# ---------------------------------------------------------------------------
+
+
+def _csr_neighbours(
+    offsets: np.ndarray, adj: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """All CSR neighbours of ``frontier`` (with repetitions)."""
+    starts = offsets[frontier]
+    counts = offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=adj.dtype)
+    shift = np.repeat(starts - np.concatenate(
+        ([0], np.cumsum(counts)[:-1])
+    ), counts)
+    return adj[np.arange(total, dtype=np.int64) + shift]
+
+
+def _bfs_order(
+    offsets: np.ndarray,
+    adj: np.ndarray,
+    start: int,
+    visited: np.ndarray,
+    degree: np.ndarray,
+) -> np.ndarray:
+    """Level-set BFS from ``start``; each level sorted by (degree, id)."""
+    visited[start] = True
+    frontier = np.array([start], dtype=np.int64)
+    levels = [frontier]
+    while frontier.size:
+        nbrs = np.unique(_csr_neighbours(offsets, adj, frontier))
+        nbrs = nbrs[~visited[nbrs]]
+        if nbrs.size == 0:
+            break
+        frontier = nbrs[np.lexsort((nbrs, degree[nbrs]))]
+        visited[frontier] = True
+        levels.append(frontier)
+    return np.concatenate(levels)
+
+
+def rcm_node_permutation(mesh: TetMesh) -> np.ndarray:
+    """Reverse Cuthill-McKee node permutation: ``perm[old id] = new id``.
+
+    Per connected component, a pseudo-peripheral start node is located
+    with the usual double-BFS sweep (min-degree seed, then the minimum-
+    degree node of the last BFS level), nodes are visited level by level
+    with each level sorted by ``(degree, id)``, and the whole visiting
+    sequence is reversed.  Deterministic: ties always break by node id.
+    """
+    offsets, adj = mesh.node_neighbours()
+    n = mesh.nnode
+    degree = np.diff(offsets)
+    visited = np.zeros(n, dtype=bool)
+    # Component seeds scanned in (degree, id) order.
+    seeds = np.lexsort((np.arange(n), degree))
+    sequences = []
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        # Pseudo-peripheral refinement: one extra BFS from the far end.
+        probe = np.zeros(n, dtype=bool)
+        far = _bfs_order(offsets, adj, int(seed), probe, degree)[-1]
+        sequences.append(
+            _bfs_order(offsets, adj, int(far), visited, degree)
+        )
+    order = np.concatenate(sequences)[::-1] if sequences else np.empty(
+        0, dtype=np.int64
+    )
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n, dtype=np.int64)
+    return perm
+
+
+def bandwidth_stats(mesh: TetMesh) -> Tuple[int, float]:
+    """``(max, mean)`` node-index distance over within-element node pairs.
+
+    The locality proxy RCM minimizes: gathered node ids of one element
+    span at most ``max`` rows of the nodal arrays.
+    """
+    conn = mesh.connectivity
+    if conn.shape[0] == 0:
+        return 0, 0.0
+    d = np.abs(conn[:, :, None] - conn[:, None, :])
+    iu = np.triu_indices(conn.shape[1], k=1)
+    pair = d[:, iu[0], iu[1]]
+    return int(pair.max()), float(pair.mean())
+
+
+# ---------------------------------------------------------------------------
+# Combined reordering
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ReorderResult:
+    """A permuted mesh plus the maps between the two numberings.
+
+    Attributes
+    ----------
+    mesh:
+        The reordered mesh.  Carries ``seed_element_ids`` provenance so
+        its assembly plans flush scatters in canonical seed order
+        (bit-consistent with the source mesh's assembly).
+    strategy:
+        The strategy string the result was built with.
+    element_perm:
+        ``(nelem,)`` -- position ``k`` of the new mesh holds source
+        element ``element_perm[k]``.
+    node_perm:
+        ``(nnode,)`` -- source node ``i`` became new node ``node_perm[i]``.
+    node_inverse:
+        ``(nnode,)`` -- new node ``j`` was source node ``node_inverse[j]``.
+    """
+
+    mesh: TetMesh
+    strategy: str
+    element_perm: np.ndarray
+    node_perm: np.ndarray
+    node_inverse: np.ndarray
+
+    def to_reordered_nodal(self, field: np.ndarray) -> np.ndarray:
+        """Transport a source-numbered nodal field to the reordered mesh."""
+        return np.asarray(field)[self.node_inverse]
+
+    def to_seed_nodal(self, field: np.ndarray) -> np.ndarray:
+        """Transport a reordered-mesh nodal field back to source numbering."""
+        return np.asarray(field)[self.node_perm]
+
+    def to_seed_elemental(self, field: np.ndarray) -> np.ndarray:
+        """Transport a reordered-mesh elemental field back to source order."""
+        field = np.asarray(field)
+        out = np.empty_like(field)
+        out[self.element_perm] = field
+        return out
+
+
+def _parse_strategy(strategy: str) -> Tuple[Optional[str], bool]:
+    parts = [p.strip() for p in strategy.lower().split("+") if p.strip()]
+    sfc: Optional[str] = None
+    rcm = False
+    for part in parts:
+        if part in ("morton", "hilbert"):
+            if sfc is not None:
+                raise ValueError(
+                    f"strategy {strategy!r} names more than one curve"
+                )
+            sfc = part
+        elif part == "rcm":
+            rcm = True
+        elif part != "none":
+            raise ValueError(
+                f"unknown reordering strategy {strategy!r}; "
+                f"expected a combination of {STRATEGIES}"
+            )
+    return sfc, rcm
+
+
+def reorder_mesh(
+    mesh: TetMesh, strategy: str = "hilbert+rcm", bits: int = 10
+) -> ReorderResult:
+    """Reorder ``mesh`` elements (SFC) and/or renumber its nodes (RCM).
+
+    The returned mesh is geometrically identical to the input; only the
+    storage order of elements and the labelling of nodes change.  Its
+    ``seed_element_ids`` compose through chained reorderings, so any mesh
+    in a reorder chain assembles bit-consistently with the ultimate seed.
+    """
+    from ..obs.metrics import get_registry
+    from ..obs.spans import get_tracer
+
+    sfc, rcm = _parse_strategy(strategy)
+    with get_tracer().span(
+        "reorder", strategy=strategy, nelem=int(mesh.nelem),
+        nnode=int(mesh.nnode),
+    ):
+        if sfc is None:
+            element_perm = np.arange(mesh.nelem, dtype=np.int64)
+        else:
+            element_perm = element_order(mesh, sfc, bits=bits)
+        if rcm:
+            node_perm = rcm_node_permutation(mesh)
+        else:
+            node_perm = np.arange(mesh.nnode, dtype=np.int64)
+        node_inverse = np.empty_like(node_perm)
+        node_inverse[node_perm] = np.arange(mesh.nnode, dtype=np.int64)
+
+        out = TetMesh(
+            mesh.coords[node_inverse],
+            node_perm[mesh.connectivity[element_perm]],
+            validate=False,
+        )
+        parent_seed = mesh.seed_element_ids
+        if parent_seed is None:
+            parent_seed = np.arange(mesh.nelem, dtype=np.int64)
+        out._set_seed_element_ids(parent_seed[element_perm])
+    registry = get_registry()
+    registry.counter("locality.reorders").inc()
+    registry.counter("locality.elements_reordered").inc(int(mesh.nelem))
+    return ReorderResult(
+        mesh=out,
+        strategy=strategy,
+        element_perm=element_perm,
+        node_perm=node_perm,
+        node_inverse=node_inverse,
+    )

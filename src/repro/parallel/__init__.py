@@ -7,6 +7,7 @@ from .partition import (
     greedy_graph_partition,
     partition_quality,
     rcb_partition,
+    sfc_partition,
 )
 from .halo import SubdomainPlan, build_plans, post_interface, reduce_interface
 from .runner import (
@@ -15,12 +16,21 @@ from .runner import (
     WorkerPolicy,
     assemble_partitioned,
 )
+from .threads import (
+    SlabPool,
+    default_chunk_groups,
+    get_thread_pool,
+    resolve_num_threads,
+    shutdown_thread_pools,
+)
 
 __all__ = [
     "CommError", "SimComm", "run_ranks",
     "element_adjacency", "greedy_graph_partition", "partition_quality",
-    "rcb_partition",
+    "rcb_partition", "sfc_partition",
     "SubdomainPlan", "build_plans", "post_interface", "reduce_interface",
     "MultiprocessRunner", "ScalingPoint", "WorkerPolicy",
     "assemble_partitioned",
+    "SlabPool", "default_chunk_groups", "get_thread_pool",
+    "resolve_num_threads", "shutdown_thread_pools",
 ]

@@ -39,6 +39,14 @@ class SubdomainPlan:
     neighbours:
         Ranks sharing interface nodes, mapped to the *local* indices of the
         nodes shared with each.
+    halo_elements:
+        Positions (into ``element_ids``) of elements touching at least one
+        interface node -- the only elements whose contributions cross
+        ranks.  Assembling them first lets the interface exchange overlap
+        the interior work (see
+        :func:`repro.parallel.runner.assemble_partitioned`).
+    interior_elements:
+        Positions of the remaining, purely local elements.
     """
 
     rank: int
@@ -47,6 +55,8 @@ class SubdomainPlan:
     local_connectivity: np.ndarray
     interface_local: np.ndarray
     neighbours: Dict[int, np.ndarray]
+    halo_elements: np.ndarray = None  # type: ignore[assignment]
+    interior_elements: np.ndarray = None  # type: ignore[assignment]
 
 
 def build_plans(mesh: TetMesh, labels: np.ndarray) -> List[SubdomainPlan]:
@@ -92,6 +102,15 @@ def build_plans(mesh: TetMesh, labels: np.ndarray) -> List[SubdomainPlan]:
         plan.neighbours = {
             r: np.asarray(v, dtype=np.int64) for r, v in sorted(nbrs.items())
         }
+        # Halo/interior split: an element is "halo" iff it touches an
+        # interface node.  np.flatnonzero keeps ascending element order,
+        # which the overlap path in the runner relies on for bitwise
+        # reproduction of the monolithic scatter.
+        iface_mask = np.zeros(len(plan.node_map), dtype=bool)
+        iface_mask[plan.interface_local] = True
+        touches = iface_mask[plan.local_connectivity].any(axis=1)
+        plan.halo_elements = np.flatnonzero(touches)
+        plan.interior_elements = np.flatnonzero(~touches)
     return plans
 
 

@@ -107,11 +107,23 @@ def resolve_assembler(
     (:class:`~repro.resilience.ladders.ResilientAssembler`): compiled,
     validated against the reference on first sweep, degrading to
     interpreted and finally reference if validation fails.
+    ``"threaded[:VARIANT]"`` is the compiled tape replayed on the
+    GIL-free chunked thread executor (deterministic: bitwise equal to
+    ``"compiled"`` at the same vector_dim).
     """
     text = spec.strip().lower()
     if text == "reference":
         return assemble_momentum_rhs
     mode, _, variant = text.partition(":")
+    if mode == "threaded":
+        return kernel_rhs_assembler(
+            mesh,
+            params,
+            variant=(variant or "RSP"),
+            mode="compiled",
+            tracer=tracer,
+            executor="threads",
+        )
     if mode == "resilient":
         from ..resilience.ladders import ResilientAssembler
 
@@ -126,8 +138,8 @@ def resolve_assembler(
     if mode not in ("compiled", "interpreted"):
         raise ValueError(
             f"unknown assembler spec {spec!r}; expected 'reference', "
-            "'compiled[:VARIANT]', 'interpreted[:VARIANT]' or "
-            "'resilient[:VARIANT]'"
+            "'compiled[:VARIANT]', 'interpreted[:VARIANT]', "
+            "'threaded[:VARIANT]' or 'resilient[:VARIANT]'"
         )
     return kernel_rhs_assembler(
         mesh, params, variant=(variant or "RSP"), mode=mode, tracer=tracer

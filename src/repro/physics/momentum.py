@@ -178,6 +178,9 @@ def kernel_rhs_assembler(
     mode: str = "compiled",
     vector_dim=None,
     tracer=None,
+    executor: str = "serial",
+    num_threads=None,
+    chunk_groups=None,
 ):
     """Build a time-integrator-compatible RHS assembler over a DSL variant.
 
@@ -186,13 +189,22 @@ def kernel_rhs_assembler(
     expects, backed by a :class:`~repro.core.unified.UnifiedAssembler` in
     the chosen ``mode`` (``"compiled"`` replays the plan-cached kernel
     tape -- zero Python-level allocation in steady state; ``"interpreted"``
-    runs the seed per-group backend).  The assembler is bound to ``mesh``
-    and ``params`` at construction; calling it with different ones is a
-    configuration error and raises.
+    runs the seed per-group backend).  ``executor="threads"`` (compiled
+    mode only) replays the tape in cache-sized chunks on a thread pool
+    -- ``num_threads`` / ``chunk_groups`` pass through to
+    :class:`~repro.core.unified.UnifiedAssembler`.  The assembler is
+    bound to ``mesh`` and ``params`` at construction; calling it with
+    different ones is a configuration error and raises.
     """
     from ..core.unified import UnifiedAssembler
 
-    kwargs = {"vector_dim": vector_dim, "mode": mode}
+    kwargs = {
+        "vector_dim": vector_dim,
+        "mode": mode,
+        "executor": executor,
+        "num_threads": num_threads,
+        "chunk_groups": chunk_groups,
+    }
     if tracer is not None:
         kwargs["tracer"] = tracer
     assembler = UnifiedAssembler(mesh, params, **kwargs)

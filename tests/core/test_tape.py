@@ -176,8 +176,9 @@ def test_tape_invalidated_by_fix_orientation(params):
     old_plan = get_plan(mesh)
 
     # corrupt one element's orientation, then repair it
-    conn = mesh.connectivity
-    conn[0, 1], conn[0, 2] = conn[0, 2].copy(), conn[0, 1].copy()
+    with mesh.mutate():
+        conn = mesh._connectivity
+        conn[0, 1], conn[0, 2] = conn[0, 2].copy(), conn[0, 1].copy()
     assert mesh.fix_orientation() == 1
 
     plan = get_plan(mesh)

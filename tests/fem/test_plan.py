@@ -160,7 +160,8 @@ def test_plan_invalidated_by_fix_orientation():
     assert get_plan(mesh) is before
     # break one element's orientation, then repair it: the repair bumps the
     # mesh version and must retire the cached plan
-    mesh.connectivity[0, [1, 2]] = mesh.connectivity[0, [2, 1]]
+    with mesh.mutate():
+        mesh._connectivity[0, [1, 2]] = mesh._connectivity[0, [2, 1]].copy()
     assert mesh.fix_orientation() == 1
     after = get_plan(mesh)
     assert after is not before

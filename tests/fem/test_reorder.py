@@ -1,0 +1,214 @@
+"""Locality reordering: SFC keys, RCM, and the bit-consistency contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UnifiedAssembler
+from repro.fem import (
+    STRATEGIES,
+    TetMesh,
+    bandwidth_stats,
+    box_tet_mesh,
+    get_plan,
+    perturbed_box_mesh,
+    rcm_node_permutation,
+    reorder_mesh,
+)
+from repro.fem.reorder import element_order, hilbert_keys, morton_keys
+from repro.physics import AssemblyParams, assemble_momentum_rhs
+
+
+# -- SFC keys ----------------------------------------------------------------
+
+
+def test_morton_keys_interleave_bits():
+    # (x=3, y=5, z=7): key bit 3k+axis is bit k of that axis
+    key = int(morton_keys(np.array([[3, 5, 7]]))[0])
+    expected = 0
+    for k in range(3):
+        expected |= ((3 >> k) & 1) << (3 * k)
+        expected |= ((5 >> k) & 1) << (3 * k + 1)
+        expected |= ((7 >> k) & 1) << (3 * k + 2)
+    assert key == expected
+
+
+def test_hilbert_curve_visits_face_adjacent_cells():
+    """Consecutive cells along the curve differ by exactly one grid step --
+    the locality property Morton order lacks (its jumps across octants)."""
+    bits = 3
+    side = 1 << bits
+    g = np.stack(
+        np.meshgrid(*([np.arange(side)] * 3), indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    keys = hilbert_keys(g, bits)
+    assert len(np.unique(keys)) == len(keys)  # a bijection on the grid
+    walk = g[np.argsort(keys)]
+    steps = np.abs(np.diff(walk.astype(np.int64), axis=0)).sum(axis=1)
+    assert (steps == 1).all()
+
+
+def test_element_order_is_permutation_and_deterministic(medium_mesh):
+    for strategy in ("morton", "hilbert"):
+        order = element_order(medium_mesh, strategy)
+        assert np.array_equal(np.sort(order), np.arange(medium_mesh.nelem))
+        assert np.array_equal(order, element_order(medium_mesh, strategy))
+
+
+def test_element_order_rejects_unknown_strategy(small_mesh):
+    with pytest.raises(ValueError, match="SFC strategy"):
+        element_order(small_mesh, "peano")
+
+
+# -- RCM ---------------------------------------------------------------------
+
+
+def _scrambled(mesh, seed=0):
+    """The mesh with its node numbering randomly permuted."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(mesh.nnode)
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(mesh.nnode)
+    return TetMesh(mesh.coords[inverse], perm[mesh.connectivity])
+
+
+def test_rcm_shrinks_scrambled_bandwidth(medium_mesh):
+    """RCM must recover a banded numbering from a scrambled one.  (The
+    structured box's natural numbering is already near-optimally banded,
+    so the scrambled mesh is the honest starting point.)"""
+    scrambled = _scrambled(medium_mesh, seed=3)
+    max_before, mean_before = bandwidth_stats(scrambled)
+    res = reorder_mesh(scrambled, "rcm")
+    max_after, mean_after = bandwidth_stats(res.mesh)
+    assert max_after < 0.5 * max_before
+    assert mean_after < 0.5 * mean_before
+
+
+def test_rcm_permutation_is_valid(jittered_mesh):
+    perm = rcm_node_permutation(jittered_mesh)
+    assert np.array_equal(np.sort(perm), np.arange(jittered_mesh.nnode))
+
+
+# -- reorder_mesh ------------------------------------------------------------
+
+
+def test_reorder_preserves_geometry(jittered_mesh):
+    for strategy in STRATEGIES:
+        res = reorder_mesh(jittered_mesh, strategy)
+        assert res.mesh.nelem == jittered_mesh.nelem
+        assert res.mesh.nnode == jittered_mesh.nnode
+        # same element volumes element-by-element after mapping back
+        vols = res.to_seed_elemental(res.mesh.element_volumes())
+        assert np.array_equal(vols, jittered_mesh.element_volumes())
+
+
+def test_reorder_nodal_roundtrip_is_bitwise(jittered_mesh):
+    rng = np.random.default_rng(8)
+    f = rng.standard_normal((jittered_mesh.nnode, 3))
+    res = reorder_mesh(jittered_mesh, "hilbert+rcm")
+    assert np.array_equal(res.to_seed_nodal(res.to_reordered_nodal(f)), f)
+
+
+def test_seed_element_ids_compose_through_chains(jittered_mesh):
+    first = reorder_mesh(jittered_mesh, "morton")
+    second = reorder_mesh(first.mesh, "rcm")
+    third = reorder_mesh(second.mesh, "hilbert")
+    ids = third.mesh.seed_element_ids
+    assert np.array_equal(np.sort(ids), np.arange(jittered_mesh.nelem))
+    # position k of the third mesh must trace back to the original element
+    direct = first.element_perm[second.element_perm][third.element_perm]
+    assert np.array_equal(ids, direct)
+
+
+def test_mesh_reordered_method(jittered_mesh):
+    res = jittered_mesh.reordered("hilbert")
+    assert res.strategy == "hilbert"
+    assert res.mesh is not jittered_mesh
+
+
+def test_reorder_rejects_unknown_strategy(small_mesh):
+    with pytest.raises(ValueError, match="strategy"):
+        reorder_mesh(small_mesh, "zigzag")
+
+
+# -- bit-consistent assembly -------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    strategy=st.sampled_from([s for s in STRATEGIES if s != "none"]),
+    variant=st.sampled_from(["B", "P", "RS", "RSP", "RSPR"]),
+    mode=st.sampled_from(["interpreted", "compiled"]),
+    seed=st.integers(0, 50),
+)
+def test_property_reordered_assembly_bitwise(strategy, variant, mode, seed):
+    """The tentpole contract: assembling on any reordered mesh and mapping
+    the RHS back through the inverse permutation reproduces the seed-order
+    assembly to the last bit, for every variant and both backends."""
+    mesh = perturbed_box_mesh(3, 3, 4, amplitude=0.08, seed=seed % 5)
+    params = AssemblyParams(body_force=(0.05, -0.1, 0.2))
+    rng = np.random.default_rng(seed)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    seed_rhs = UnifiedAssembler(
+        mesh, params, vector_dim=16, mode=mode
+    ).assemble(variant, u)
+    res = mesh.reordered(strategy)
+    new_rhs = UnifiedAssembler(
+        res.mesh, params, vector_dim=16, mode=mode
+    ).assemble(variant, res.to_reordered_nodal(u))
+    assert np.array_equal(res.to_seed_nodal(new_rhs), seed_rhs)
+
+
+def test_reordered_reference_assembly_matches_to_tolerance(jittered_mesh):
+    """The reference path has no seed-order flush; mapping back agrees to
+    rounding only -- documents why the deferred-scatter contract matters."""
+    params = AssemblyParams(body_force=(0.0, 0.0, 0.1))
+    rng = np.random.default_rng(2)
+    u = 0.1 * rng.standard_normal((jittered_mesh.nnode, 3))
+    res = jittered_mesh.reordered("hilbert+rcm")
+    a = assemble_momentum_rhs(jittered_mesh, u, params)
+    b = res.to_seed_nodal(
+        assemble_momentum_rhs(res.mesh, res.to_reordered_nodal(u), params)
+    )
+    assert np.allclose(a, b, atol=1e-13)
+
+
+# -- stale-pattern protection ------------------------------------------------
+
+
+def test_stale_scatter_pattern_never_replays_after_renumbering(params):
+    """Satellite regression: renumbering the nodes through ``mutate()``
+    bumps the mesh version, so an assembler built earlier must rebuild its
+    plan/patterns instead of scattering against the old numbering."""
+    mesh = box_tet_mesh(3, 3, 3)
+    rng = np.random.default_rng(4)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    asm = UnifiedAssembler(mesh, params, vector_dim=16, mode="compiled")
+    before = asm.assemble("RS", u)
+    old_plan = get_plan(mesh)
+
+    swap = [0, 1]
+    remap = np.arange(mesh.nnode)
+    remap[swap] = swap[::-1]
+    with mesh.mutate():
+        mesh._coords[swap] = mesh._coords[swap[::-1]].copy()
+        mesh._connectivity[...] = remap[mesh._connectivity]
+
+    assert get_plan(mesh) is not old_plan
+    u2 = u.copy()
+    u2[swap] = u2[swap[::-1]]
+    after = asm.assemble("RS", u2)
+    expected = before.copy()
+    expected[swap] = expected[swap[::-1]]
+    # a stale pattern would scatter into the old node rows; the node-only
+    # renumbering preserves per-node contribution order, so the correct
+    # result is the bitwise-permuted RHS
+    assert np.array_equal(after, expected)
+
+
+def test_mesh_arrays_frozen_outside_mutate(small_mesh):
+    with pytest.raises(ValueError):
+        small_mesh.connectivity[0, 0] = 0
+    with pytest.raises(ValueError):
+        small_mesh.coords[0, 0] = 99.0

@@ -256,3 +256,100 @@ def test_runner_shares_element_arrays_via_shm():
     assert snap["runner.shm_bytes_shared"]["value"] == 2 * mesh.nelem * 4 * 3 * 8
     # the 2-worker point avoided pickling both packs
     assert snap["runner.pickle_bytes_saved"]["value"] == 2 * mesh.nelem * 4 * 3 * 8
+
+
+# -- locality: halo/interior split, SFC partition, overlap --------------------
+
+
+def test_halo_interior_split_partitions_elements(mesh):
+    labels = rcb_partition(mesh, 4)
+    for plan in build_plans(mesh, labels):
+        h, i = plan.halo_elements, plan.interior_elements
+        assert np.intersect1d(h, i).size == 0
+        assert np.array_equal(
+            np.sort(np.concatenate([h, i])),
+            np.arange(len(plan.element_ids)),
+        )
+        # every halo element touches an interface node, no interior does
+        iface = np.zeros(len(plan.node_map), dtype=bool)
+        iface[plan.interface_local] = True
+        assert iface[plan.local_connectivity[h]].any(axis=1).all()
+        if i.size:
+            assert not iface[plan.local_connectivity[i]].any(axis=1).any()
+
+
+def test_single_rank_has_no_halo(mesh):
+    (plan,) = build_plans(mesh, np.zeros(mesh.nelem, dtype=np.int64))
+    assert plan.halo_elements.size == 0
+    assert plan.interior_elements.size == mesh.nelem
+
+
+def test_overlap_records_locality_metrics(mesh):
+    from repro.obs.metrics import MetricsRegistry
+
+    params = AssemblyParams()
+    rng = np.random.default_rng(5)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    registry = MetricsRegistry()
+    assemble_partitioned(mesh, u, params, 4, metrics=registry)
+    snap = registry.snapshot()
+    halo = snap["locality.halo_elements"]["value"]
+    interior = snap["locality.interior_elements"]["value"]
+    assert halo > 0 and interior > 0
+    assert halo + interior == mesh.nelem
+    assert 0.0 < snap["locality.overlap_efficiency"]["value"] < 1.0
+
+
+def test_overlap_emits_halo_and_interior_spans(mesh):
+    from repro.obs import Tracer
+
+    params = AssemblyParams()
+    rng = np.random.default_rng(6)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    tracer = Tracer()
+    assemble_partitioned(mesh, u, params, 2, tracer=tracer)
+    names = [s["name"] for s in tracer.export()]
+    assert names.count("halo_assemble") == 2
+    assert names.count("interior_assemble") == 2
+
+
+def test_sfc_partition_balanced_and_correct(mesh):
+    from repro.parallel import sfc_partition
+
+    params = AssemblyParams()
+    rng = np.random.default_rng(7)
+    u = 0.1 * rng.standard_normal((mesh.nnode, 3))
+    serial = assemble_momentum_rhs(mesh, u, params)
+    for nparts in (2, 5):
+        for strategy in ("hilbert", "morton"):
+            labels = sfc_partition(mesh, nparts, strategy)
+            counts = np.bincount(labels, minlength=nparts)
+            assert counts.max() - counts.min() <= 1
+            got = assemble_partitioned(mesh, u, params, nparts, labels=labels)
+            assert np.abs(got - serial).max() < 1e-13
+    with pytest.raises(ValueError, match="nparts"):
+        sfc_partition(mesh, 0)
+
+
+def test_runner_rejects_unknown_ordering():
+    from repro.parallel import MultiprocessRunner
+
+    with pytest.raises(ValueError, match="ordering"):
+        MultiprocessRunner(
+            box_tet_mesh(3, 3, 3), AssemblyParams(), ordering="zigzag"
+        )
+
+
+def test_runner_sfc_ordering_single_worker():
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel import MultiprocessRunner
+
+    mesh = box_tet_mesh(3, 3, 3)
+    registry = MetricsRegistry()
+    runner = MultiprocessRunner(
+        mesh, AssemblyParams(), repeats=1, metrics=registry,
+        ordering="hilbert",
+    )
+    points = runner.measure([1])
+    assert len(points) == 1
+    assert registry.snapshot()["locality.runner_reorders"]["value"] == 1
