@@ -11,6 +11,13 @@ equal are ever compared.  Model runtimes are compared too, but
 those are deterministic -- any drift there means the machine model itself
 changed.
 
+``--drift`` adds the time axis the single-baseline diff lacks: the last
+``--window`` sessions of ``BENCH_history.jsonl`` (appended by the bench
+harness, see ``benchmarks/history.py``) are checked per entry key with
+an EWMA excess/z-score gate plus a CUSUM changepoint scan.  Drift
+findings are always warn-only -- a slow trend needs a human eye, not a
+red CI -- so they never affect the exit code, even under ``--strict``.
+
 Exit code is 0 unless ``--strict`` is passed (then >threshold wall-clock
 regressions fail the run).  Wall-clock noise on shared CI runners is why
 the default is warn-only.
@@ -19,7 +26,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         [--bench BENCH_variants.json] [--baseline benchmarks/bench_baseline.json] \
-        [--threshold 0.20] [--strict] [--write-diff bench_regression.txt]
+        [--threshold 0.20] [--strict] [--write-diff bench_regression.txt] \
+        [--drift] [--history BENCH_history.jsonl] [--window 20]
 """
 
 from __future__ import annotations
@@ -30,9 +38,12 @@ import sys
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT))
 
 from repro.obs import read_bench_json  # noqa: E402
 from repro.resilience import RECOVERY_COUNTERS  # noqa: E402
+
+from benchmarks import history as bench_history  # noqa: E402
 
 
 #: wall-clock and model-runtime fields compared between runs
@@ -56,14 +67,7 @@ def _entry_key(entry: dict) -> tuple:
     SFC/RCM permutation) and the ``executor`` (serial vs threads) change
     the wall clock by design, so they are part of the key too.
     """
-    return (
-        entry.get("benchmark", "variants"),
-        entry["variant"],
-        entry.get("vector_dim"),
-        entry.get("mode"),
-        entry.get("ordering"),
-        entry.get("executor"),
-    )
+    return bench_history.entry_key(entry)
 
 
 def _by_key(doc: dict) -> dict:
@@ -81,14 +85,7 @@ def compare(bench: dict, baseline: dict, threshold: float) -> list:
         ref = base.get(key)
         if ref is None:
             continue
-        benchmark, variant, vector_dim, _mode, ordering, executor = key
-        label = variant if benchmark == "variants" else f"{benchmark}/{variant}"
-        if vector_dim is not None:
-            label += f"@vd{vector_dim}"
-        if ordering not in (None, "none"):
-            label += f"+{ordering}"
-        if executor not in (None, "serial"):
-            label += f"+{executor}"
+        label = bench_history.key_label(key)
         for field in _FIELDS:
             old, new = ref.get(field), entry.get(field)
             if old is None or new is None or old <= 0:
@@ -138,6 +135,23 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write the comparison report to PATH (for CI artifacts)",
     )
+    ap.add_argument(
+        "--drift",
+        action="store_true",
+        help="EWMA/changepoint drift scan over the bench history "
+        "(always warn-only, even with --strict)",
+    )
+    ap.add_argument(
+        "--history",
+        default=str(_REPO_ROOT / bench_history.DEFAULT_HISTORY_NAME),
+        help="BENCH_history.jsonl session log to scan with --drift",
+    )
+    ap.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        help="number of most recent history sessions the drift scan sees",
+    )
     args = ap.parse_args(argv)
 
     report: list[str] = []
@@ -151,6 +165,43 @@ def main(argv=None) -> int:
             pathlib.Path(args.write_diff).write_text(
                 "\n".join(report) + "\n", encoding="utf-8"
             )
+
+    if args.drift:
+        # History drift is independent of the fresh/baseline pair: it
+        # reads the session log and never gates the exit code.
+        try:
+            records = bench_history.read_history(args.history)
+        except OSError as exc:
+            records = []
+            emit(f"check_regression: no bench history ({exc}); drift skipped")
+        if records:
+            findings = bench_history.drift_report(
+                records, window=args.window
+            )
+            if findings:
+                emit(
+                    f"check_regression: DRIFT -- {len(findings)} series "
+                    f"adrift over the last {min(args.window, len(records))} "
+                    "sessions (warn-only):"
+                )
+                for f in findings:
+                    z = f["z"]
+                    z_text = "inf" if z != z or z == float("inf") else f"{z:.1f}"
+                    cp = (
+                        f", changepoint@{f['changepoint']}"
+                        if f["changepoint"] is not None
+                        else ""
+                    )
+                    emit(
+                        f"  {f['label']:>20s} {f['field']:<22s} "
+                        f"ewma {f['mean']:10.3f} -> {f['last']:10.3f} ms "
+                        f"({f['excess']:+.0%}, z={z_text}{cp})"
+                    )
+            else:
+                emit(
+                    f"check_regression: drift OK -- no drifting series "
+                    f"across {len(records)} history sessions"
+                )
 
     try:
         bench = read_bench_json(args.bench)

@@ -10,6 +10,13 @@ and a fresh metrics registry; at session exit the ``BENCH_*`` artifacts
 ``BENCH_spans.jsonl`` span log) are written to the repo root -- the perf
 trajectory consumed by ``benchmarks/check_regression.py`` and the CI
 artifact upload.  Set ``REPRO_BENCH_DIR`` to redirect them.
+
+Profiled sessions (the default; opt out with ``REPRO_BENCH_PROFILE=0``)
+additionally run one untimed op-profiled assembly per variant and emit
+the attribution set -- ``BENCH_roofline_attrib.json``,
+``BENCH_flamegraph.txt``, ``BENCH_prometheus.prom`` -- and every session
+appends one line to ``BENCH_history.jsonl``, the per-key time series
+``check_regression.py --drift`` scans.
 """
 
 import os
@@ -20,9 +27,11 @@ import pytest
 
 from repro.core import OptimizationStudy, UnifiedAssembler
 from repro.fem import box_tet_mesh
-from repro.io import write_bench_artifacts
+from repro.io import write_bench_artifacts, write_profile_artifacts
 from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
 from repro.physics import AssemblyParams
+
+from benchmarks.history import DEFAULT_HISTORY_NAME, append_history
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -70,15 +79,29 @@ def bench_extra():
 def bench_artifacts(study, bench_tracer, bench_registry, bench_extra):
     """Emit the BENCH_* perf artifacts when the bench session ends."""
     yield
-    entries = study.bench_summary() + list(bench_extra)
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "1") != "0"
+    entries = study.bench_summary(profile=profile) + list(bench_extra)
     outdir = os.environ.get("REPRO_BENCH_DIR", str(_REPO_ROOT))
+    meta = {"source": "benchmarks", "nelem": int(study.mesh.nelem)}
     paths = write_bench_artifacts(
         outdir,
         entries,
         tracer=bench_tracer,
         metrics=bench_registry,
-        meta={"source": "benchmarks", "nelem": int(study.mesh.nelem)},
+        meta=meta,
     )
+    if profile:
+        paths.update(
+            write_profile_artifacts(
+                outdir,
+                attribution=study.roofline_attribution(),
+                collapsed=study.profiler.collapsed(),
+                metrics=bench_registry,
+            )
+        )
+    history_path = os.path.join(outdir, DEFAULT_HISTORY_NAME)
+    append_history(history_path, entries, meta=meta)
+    paths["history"] = history_path
     print(f"\nbench artifacts: {', '.join(sorted(paths.values()))}")
 
 

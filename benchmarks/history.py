@@ -1,0 +1,288 @@
+"""Bench-history store and drift detection.
+
+``check_regression.py`` compares one fresh run against one committed
+baseline -- good at catching a single large regression, blind to slow
+drift where every session is "within threshold" of the last but the
+trend over weeks is a real loss.  This module adds the missing time
+axis:
+
+* :func:`append_history` appends one JSON line per bench session to
+  ``BENCH_history.jsonl`` (schema ``repro-bench-history/1``), keeping
+  only the like-for-like key fields and the measured wall-clock /
+  model-runtime numbers, so the file stays small enough to commit or
+  carry as a CI artifact.
+* :func:`series` re-groups the records into per-key time series using
+  the same 6-tuple key (:func:`entry_key`) the baseline diff matches
+  on -- ``(benchmark, variant, vector_dim, mode, ordering, executor)``.
+* :func:`ewma_drift` flags a series whose latest point sits both
+  relatively (``threshold``) and statistically (``zscore`` against an
+  exponentially-weighted variance) above the smoothed history, and
+  :func:`cusum_changepoint` locates sustained level shifts a single
+  endpoint test would miss.
+
+``check_regression.py --drift`` runs :func:`drift_report` warn-only
+alongside the baseline diff; both share :func:`entry_key` so an entry
+gated there is the same entry tracked here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_NAME",
+    "HISTORY_FIELDS",
+    "entry_key",
+    "key_label",
+    "append_history",
+    "read_history",
+    "series",
+    "ewma_drift",
+    "cusum_changepoint",
+    "drift_report",
+]
+
+HISTORY_SCHEMA = "repro-bench-history/1"
+DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
+
+#: key fields carried verbatim into each history row
+KEY_FIELDS = ("benchmark", "variant", "vector_dim", "mode", "ordering",
+              "executor")
+
+#: measured fields kept per entry (superset of check_regression._FIELDS)
+HISTORY_FIELDS = (
+    "wall_ms",
+    "interpreted_ms",
+    "compiled_ms",
+    "gpu_model_runtime_ms",
+    "cpu_model_runtime_ms",
+    "profiled_seconds",
+    "profiled_bytes",
+    "byte_residual",
+)
+
+
+def entry_key(entry: Dict[str, Any]) -> Tuple:
+    """Like-for-like comparison key for one bench entry.
+
+    Wall clock scales with the group size, the mesh ordering and the
+    executor, so only measurements with the whole 6-tuple equal are ever
+    compared -- the exact key ``check_regression.py`` matches baseline
+    entries on.
+    """
+    return (
+        entry.get("benchmark", "variants"),
+        entry["variant"],
+        entry.get("vector_dim"),
+        entry.get("mode"),
+        entry.get("ordering"),
+        entry.get("executor"),
+    )
+
+
+def key_label(key: Tuple) -> str:
+    """Human-readable label for a 6-tuple key (diff-report style)."""
+    benchmark, variant, vector_dim, _mode, ordering, executor = key
+    label = variant if benchmark == "variants" else f"{benchmark}/{variant}"
+    if vector_dim is not None:
+        label += f"@vd{vector_dim}"
+    if ordering not in (None, "none"):
+        label += f"+{ordering}"
+    if executor not in (None, "serial"):
+        label += f"+{executor}"
+    return label
+
+
+def _slim(entry: Dict[str, Any]) -> Dict[str, Any]:
+    row: Dict[str, Any] = {}
+    for field in KEY_FIELDS:
+        if field in entry:
+            row[field] = entry[field]
+    for field in HISTORY_FIELDS:
+        value = entry.get(field)
+        if value is not None:
+            row[field] = value
+    return row
+
+
+def append_history(
+    path: str,
+    entries: Iterable[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one session record (one JSON line) to the history file.
+
+    Returns the record written.  Entries without a ``variant`` (metric
+    side-rows) are skipped; the rest are slimmed to key + measured
+    fields so years of sessions stay a few hundred kilobytes.
+    """
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": time.time() if timestamp is None else float(timestamp),
+        "meta": dict(meta or {}),
+        "entries": [_slim(e) for e in entries if "variant" in e],
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_history(path: str) -> List[Dict[str, Any]]:
+    """Read session records oldest-first; corrupt lines are skipped.
+
+    A truncated final line (killed CI job mid-append) must not poison
+    the whole history, so bad JSON is dropped rather than raised.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "entries" in record:
+                records.append(record)
+    return records
+
+
+def series(
+    records: Iterable[Dict[str, Any]], field: str = "wall_ms"
+) -> Dict[Tuple, List[float]]:
+    """Per-key time series of ``field`` across sessions (append order)."""
+    out: Dict[Tuple, List[float]] = {}
+    for record in records:
+        for entry in record.get("entries", []):
+            if "variant" not in entry:
+                continue
+            value = entry.get(field)
+            if value is None:
+                continue
+            out.setdefault(entry_key(entry), []).append(float(value))
+    return out
+
+
+def ewma_drift(
+    values: List[float],
+    alpha: float = 0.3,
+    threshold: float = 0.15,
+    zscore: float = 3.0,
+    min_points: int = 5,
+) -> Dict[str, Any]:
+    """Is the latest value adrift from the smoothed history before it?
+
+    An exponentially-weighted mean and variance are run over all points
+    *except the last*; the last point drifts when it exceeds the mean
+    both relatively (``excess > threshold``) and statistically
+    (``z > zscore``).  Requiring both gates keeps a noisy-but-flat
+    series (large std, small excess) and a microsecond-level jitter
+    series (tiny std, tiny excess) from alarming.  One-sided by design:
+    getting faster is never drift.
+    """
+    n = len(values)
+    result: Dict[str, Any] = {
+        "drift": False, "n": n, "mean": None, "std": None,
+        "last": values[-1] if values else None, "excess": 0.0, "z": 0.0,
+    }
+    if n < max(2, min_points):
+        return result
+    mean = values[0]
+    var = 0.0
+    for value in values[1:-1]:
+        delta = value - mean
+        incr = alpha * delta
+        mean += incr
+        var = (1.0 - alpha) * (var + delta * incr)
+    std = math.sqrt(var)
+    last = values[-1]
+    excess = (last - mean) / mean if mean > 0 else 0.0
+    if std > 0:
+        z = (last - mean) / std
+    else:
+        # zero historical variance: any relative excess is infinitely
+        # many "standard deviations", none is zero.
+        z = math.inf if last > mean else 0.0
+    result.update(mean=mean, std=std, excess=excess, z=z)
+    result["drift"] = excess > threshold and z > zscore
+    return result
+
+
+def cusum_changepoint(
+    values: List[float],
+    k: float = 0.5,
+    h: float = 4.0,
+    min_points: int = 8,
+) -> Optional[int]:
+    """Index of the first sustained level shift, or ``None``.
+
+    Two-sided standardized CUSUM (Page): values are z-scored against
+    the whole series, then the one-sided cumulative sums
+    ``S+ = max(0, S+ + z - k)`` / ``S- = max(0, S- - z - k)`` accumulate
+    persistent excursions; the first index where either exceeds ``h``
+    is the changepoint.  ``k`` (the slack, in stds) absorbs noise;
+    ``h`` sets how long a shift must persist before it counts.
+    """
+    n = len(values)
+    if n < min_points:
+        return None
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    std = math.sqrt(var)
+    if std <= 0:
+        return None
+    s_hi = s_lo = 0.0
+    for i, value in enumerate(values):
+        z = (value - mean) / std
+        s_hi = max(0.0, s_hi + z - k)
+        s_lo = max(0.0, s_lo - z - k)
+        if s_hi > h or s_lo > h:
+            return i
+    return None
+
+
+def drift_report(
+    records: Iterable[Dict[str, Any]],
+    fields: Tuple[str, ...] = ("wall_ms", "compiled_ms"),
+    window: int = 20,
+    alpha: float = 0.3,
+    threshold: float = 0.15,
+    zscore: float = 3.0,
+    min_points: int = 5,
+) -> List[Dict[str, Any]]:
+    """Drifting (key, field) series over the last ``window`` sessions.
+
+    Each finding carries the :func:`ewma_drift` verdict plus any
+    :func:`cusum_changepoint` index inside the window; a series appears
+    when either detector fires.
+    """
+    records = list(records)
+    findings: List[Dict[str, Any]] = []
+    for field in fields:
+        for key, values in sorted(
+            series(records, field).items(), key=lambda kv: str(kv[0])
+        ):
+            window_values = values[-window:] if window > 0 else values
+            verdict = ewma_drift(
+                window_values, alpha=alpha, threshold=threshold,
+                zscore=zscore, min_points=min_points,
+            )
+            changepoint = cusum_changepoint(window_values)
+            if verdict["drift"] or changepoint is not None:
+                findings.append({
+                    "key": list(key),
+                    "label": key_label(key),
+                    "field": field,
+                    "changepoint": changepoint,
+                    **verdict,
+                })
+    return findings

@@ -54,11 +54,13 @@ version it was recorded against.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.profiler import NULL_PROFILER
 from ..obs.spans import NULL_TRACER, get_tracer
 from .dsl import Backend, KernelContext, Temp, Value
 from .storage import Storage, TempSpec
@@ -272,10 +274,40 @@ class TapeReport:
     gather_reuses: int
     scatter_calls: int
     buffers_live: int
+    binary_ops: int = 0
+    unary_ops: int = 0
+    select_ops: int = 0
+    gather_ops: int = 0
 
     def arena_bytes(self, nlane: int) -> int:
         """Arena footprint for ``nlane`` stacked lanes (float64)."""
         return self.buffers_live * nlane * 8
+
+    def predicted_bytes(self, nlane: int) -> float:
+        """Predicted arena traffic of one execution over ``nlane`` lanes.
+
+        Uniform all-vector-operand accounting (every binop reads two 8 B
+        operands, every select three plus the byte-wide mask round trip,
+        every gather an index+value pair, every scatter a vector source)
+        -- an *upper bound* on what the op-level profiler measures, since
+        folded-scalar operands cost no arena read at execution time.  The
+        gap between this and the measured bytes is therefore exactly the
+        scalar-operand share, which is what the predicted-vs-measured
+        residual report attributes.
+        """
+        per_lane = (
+            self.binary_ops * 24.0
+            + self.unary_ops * 16.0
+            + self.select_ops * 34.0
+            + self.gather_ops * 24.0
+            + self.scatter_calls * 16.0
+        )
+        return per_lane * nlane
+
+    def predicted_flops(self, nlane: int) -> float:
+        """Predicted Flops of one execution: 1 Flop/lane per arithmetic
+        op, matching :data:`repro.core.dsl._FLOP_COST`."""
+        return (self.binary_ops + self.unary_ops + self.select_ops) * float(nlane)
 
     def summary(self) -> str:
         return "\n".join(
@@ -415,6 +447,7 @@ def compile_tape(recorder: RecordingBackend, variant: str, params_key) -> TapePr
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown tape op {tag!r}")
 
+    codes = [op[0] for op in lowered]
     report = TapeReport(
         variant=variant,
         ops_recorded=len(ops),
@@ -424,6 +457,10 @@ def compile_tape(recorder: RecordingBackend, variant: str, params_key) -> TapePr
         gather_reuses=recorder.gather_reuses,
         scatter_calls=len(recorder.scatter_calls),
         buffers_live=nbufs,
+        binary_ops=codes.count(0),
+        unary_ops=codes.count(1),
+        select_ops=codes.count(2),
+        gather_ops=codes.count(3) + codes.count(4),
     )
     return TapeProgram(
         variant=variant,
@@ -502,6 +539,7 @@ class CompiledTape:
         self.plan = plan
         self.packing = packing
         self.tracer = tracer
+        self.profiler = NULL_PROFILER
         mesh = plan.mesh
         self.nnode = int(mesh.nnode)
         self.ncomp = 3
@@ -645,13 +683,80 @@ class CompiledTape:
                 else:
                     np.copyto(dst, A[src].reshape(nrows, vd))
 
-    def _flush(self, rhs: np.ndarray) -> None:
+    def _execute_ops_slice_timed(
+        self, g0: int, g1: int, arena: np.ndarray, mask: np.ndarray, profile
+    ) -> None:
+        """Profiled twin of :meth:`_execute_ops_slice`.
+
+        Issues the *identical* op stream into the identical buffers (so
+        the result stays bitwise equal to the unprofiled replay) with one
+        ``perf_counter`` read around each op, recorded into ``profile``.
+        Kept as a separate loop so the unprofiled hot path carries no
+        per-op branch or callable indirection -- the overhead-guard
+        microbenchmark pins that property.
+        """
+        vd = self.vector_dim
+        lo = g0 * vd
+        n = (g1 - g0) * vd
+        nrows = g1 - g0
+        lanes = slice(lo, lo + n)
+        A = arena if arena.shape[1] == n else arena[:, :n]
+        m = mask if mask.shape[0] == n else mask[:n]
+        values = self._values
+        ufuncs = self._ufuncs
+        ccols = self._ccols
+        vcols = self._vcols
+        idx = self._idx
+        clock = time.perf_counter
+        for i, op in enumerate(self.program.ops):
+            code = op[0]
+            t0 = clock()
+            if code == 0:
+                _, uf, a, b, out = op
+                ufuncs[uf](
+                    a if _is_scalar(a) else A[a],
+                    b if _is_scalar(b) else A[b],
+                    out=A[out],
+                )
+            elif code == 1:
+                _, uf, a, out = op
+                ufuncs[uf](a if _is_scalar(a) else A[a], out=A[out])
+            elif code == 2:
+                _, x, a, b, thresh, out = op
+                np.greater(A[x], thresh, out=m)
+                dst = A[out]
+                if _is_scalar(b):
+                    dst[...] = b
+                else:
+                    dst[...] = A[b]
+                np.copyto(dst, a if _is_scalar(a) else A[a], where=m)
+            elif code == 3:
+                _, slot, comp, out = op
+                np.take(ccols[comp], idx[slot][lanes], out=A[out])
+            elif code == 4:
+                _, field, slot, comp, out = op
+                np.take(vcols[comp], idx[slot][lanes], out=A[out])
+            else:
+                _, call, slot, comp, src = op
+                dst = values[g0:g1, call, :]
+                if _is_scalar(src):
+                    dst[...] = src
+                else:
+                    np.copyto(dst, A[src].reshape(nrows, vd))
+            profile.record(i, clock() - t0, n)
+
+    def _flush(self, rhs: np.ndarray, profile=None) -> None:
         from ..fem.plan import flush_pattern
 
         with self.tracer.span("scatter.flush", variant=self.program.variant):
+            t0 = time.perf_counter()
             flush_pattern(
                 self._pattern, self._values_flat, rhs, self.nnode, self.ncomp
             )
+            if profile is not None:
+                # values read + int64 index read + rhs accumulate traffic
+                moved = 2.0 * self._values_flat.nbytes + rhs.nbytes
+                profile.record_flush(time.perf_counter() - t0, moved)
 
     def _check_velocity(self, velocity: np.ndarray) -> np.ndarray:
         velocity = np.asarray(velocity, dtype=np.float64)
@@ -675,17 +780,30 @@ class CompiledTape:
             nlane=self.nlane,
         ):
             np.copyto(self._vcols, velocity.T)
-            self._execute_ops_slice(0, self.ngroups, self._arena, self._mask)
-            self._flush(rhs)
+            if self.profiler.enabled:
+                profile = self.profiler.for_program(
+                    self.program, self.vector_dim, "serial"
+                )
+                self._execute_ops_slice_timed(
+                    0, self.ngroups, self._arena, self._mask, profile
+                )
+                self._flush(rhs, profile)
+                profile.finish_execution()
+            else:
+                self._execute_ops_slice(0, self.ngroups, self._arena, self._mask)
+                self._flush(rhs)
         registry = get_registry()
         registry.counter("tape.executions").inc()
         registry.counter("tape.lanes_executed").inc(self.nlane)
         return rhs
 
-    def _run_chunk(self, g0: int, g1: int, slabs) -> None:
+    def _run_chunk(self, g0: int, g1: int, slabs, profile=None) -> None:
         arena, mask = slabs.acquire()
         try:
-            self._execute_ops_slice(g0, g1, arena, mask)
+            if profile is None:
+                self._execute_ops_slice(g0, g1, arena, mask)
+            else:
+                self._execute_ops_slice_timed(g0, g1, arena, mask, profile)
         finally:
             slabs.release(arena, mask)
 
@@ -737,10 +855,21 @@ class CompiledTape:
             chunk_groups=cg,
         ):
             np.copyto(self._vcols, velocity.T)
+            profile = None
+            if self.profiler.enabled:
+                profile = self.profiler.for_program(
+                    self.program, self.vector_dim, "threads"
+                )
             threaded = nthreads > 1 and len(chunks) > 1
             if not threaded:
-                for g0, g1 in chunks:
-                    self._execute_ops_slice(g0, g1, self._arena, self._mask)
+                if profile is None:
+                    for g0, g1 in chunks:
+                        self._execute_ops_slice(g0, g1, self._arena, self._mask)
+                else:
+                    for g0, g1 in chunks:
+                        self._execute_ops_slice_timed(
+                            g0, g1, self._arena, self._mask, profile
+                        )
             else:
                 slabs = _threads.SlabPool(
                     max(self.program.nbufs, 1),
@@ -749,11 +878,13 @@ class CompiledTape:
                 )
                 pool = _threads.get_thread_pool(nthreads)
                 for future in [
-                    pool.submit(self._run_chunk, g0, g1, slabs)
+                    pool.submit(self._run_chunk, g0, g1, slabs, profile)
                     for g0, g1 in chunks
                 ]:
                     future.result()
-            self._flush(rhs)
+            self._flush(rhs, profile)
+            if profile is not None:
+                profile.finish_execution()
         registry = get_registry()
         registry.counter("tape.executions").inc()
         registry.counter("tape.lanes_executed").inc(self.nlane)
@@ -781,6 +912,8 @@ class ElementalTape:
 
     def __init__(self, program: TapeProgram) -> None:
         self.program = program
+        #: set to a :class:`repro.obs.profiler.TapeProfile` to time ops
+        self.profile = None
         self._n = -1
         self._arena: Optional[np.ndarray] = None
         self._mask: Optional[np.ndarray] = None
@@ -798,6 +931,9 @@ class ElementalTape:
         mask = self._mask
         nnpe = self.program.nnode_per_element
         out_rhs = np.zeros((n, nnpe, 3))
+        if self.profile is not None:
+            self._call_timed(xel, uel, arena, mask, out_rhs, n)
+            return out_rhs
         for op in self.program.ops:
             code = op[0]
             if code == 0:
@@ -830,6 +966,45 @@ class ElementalTape:
                 out_rhs[:, slot, comp] += src if _is_scalar(src) else arena[src]
         return out_rhs
 
+    def _call_timed(self, xel, uel, arena, mask, out_rhs, n) -> None:
+        """Profiled twin of :meth:`__call__`'s op loop (identical op
+        stream into identical buffers; one clock read per op)."""
+        profile = self.profile
+        clock = time.perf_counter
+        for i, op in enumerate(self.program.ops):
+            code = op[0]
+            t0 = clock()
+            if code == 0:
+                _, uf, a, b, out = op
+                _ufunc(uf)(
+                    a if _is_scalar(a) else arena[a],
+                    b if _is_scalar(b) else arena[b],
+                    out=arena[out],
+                )
+            elif code == 1:
+                _, uf, a, out = op
+                _ufunc(uf)(a if _is_scalar(a) else arena[a], out=arena[out])
+            elif code == 2:
+                _, x, a, b, thresh, out = op
+                np.greater(arena[x], thresh, out=mask)
+                dst = arena[out]
+                if _is_scalar(b):
+                    dst[...] = b
+                else:
+                    dst[...] = arena[b]
+                np.copyto(dst, a if _is_scalar(a) else arena[a], where=mask)
+            elif code == 3:
+                _, slot, comp, out = op
+                np.copyto(arena[out], xel[:, slot, comp])
+            elif code == 4:
+                _, field, slot, comp, out = op
+                np.copyto(arena[out], uel[:, slot, comp])
+            else:  # code == 5
+                _, call, slot, comp, src = op
+                out_rhs[:, slot, comp] += src if _is_scalar(src) else arena[src]
+            profile.record(i, clock() - t0, n)
+        profile.finish_execution()
+
 
 # ---------------------------------------------------------------------------
 # Plan-level cache
@@ -860,6 +1035,7 @@ def compiled_tape(
     permutation: Optional[np.ndarray] = None,
     kernel_params: Optional[Dict[str, float]] = None,
     tracer=None,
+    profiler=None,
 ) -> CompiledTape:
     """The plan-cached :class:`CompiledTape` for one configuration.
 
@@ -886,4 +1062,8 @@ def compiled_tape(
         registry.counter("tape.cache_hits").inc()
     if tracer is not None:
         tape.tracer = tracer
+    # Always (re)set the profiler: tapes are plan-cached and shared across
+    # assemblers, so a stale profiler must never leak into an unprofiled
+    # sweep (unlike the tracer, which is additive and harmless to keep).
+    tape.profiler = profiler if profiler is not None else NULL_PROFILER
     return tape

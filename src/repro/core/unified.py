@@ -28,7 +28,13 @@ from ..obs.spans import NULL_TRACER
 from ..physics.momentum import AssemblyParams
 from ..physics.convection import ConvectiveForm
 from ..physics.turbulence import TurbulenceModel
-from .dsl import KernelContext, NumpyBackend, TracingBackend, TraceReport
+from .dsl import (
+    KernelContext,
+    NumpyBackend,
+    ProfilingNumpyBackend,
+    TracingBackend,
+    TraceReport,
+)
 from .restructured import SPEC_DENSITY, SPEC_VISCOSITY, SPEC_VREMAN_C
 from .tape import compiled_tape
 from .variants import Variant, get_variant
@@ -146,6 +152,18 @@ class UnifiedAssembler:
         ``("assembler", "nan"/"inf")`` fault corrupts one lane of the
         assembled RHS so the chaos suite can force a degradation of
         :class:`~repro.resilience.ladders.ResilientAssembler`.
+    profile:
+        When true, assemblies record op-level software counters (wall
+        time, derived bytes and Flops per tape op) into ``profiler`` --
+        the reproduction's LIKWID.  Results are bitwise identical to an
+        unprofiled assembly; when false (default) no profiling code runs
+        at all (the zero-cost :data:`repro.obs.profiler.NULL_PROFILER`
+        path).
+    profiler:
+        Optional :class:`repro.obs.profiler.TapeProfiler` to collect
+        into; one is created lazily when ``profile=True``.  Pass a shared
+        instance to aggregate several assemblers/variants into one
+        report.
     """
 
     mesh: TetMesh
@@ -159,8 +177,16 @@ class UnifiedAssembler:
     executor: str = "serial"
     num_threads: Optional[int] = None
     chunk_groups: Optional[int] = None
+    profile: bool = False
+    profiler: Optional[object] = dataclasses.field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if self.profile and self.profiler is None:
+            from ..obs.profiler import TapeProfiler
+
+            self.profiler = TapeProfiler()
+        if self.profiler is not None:
+            self.profile = True
         if self.mode not in ("interpreted", "compiled"):
             raise ValueError(
                 f"unknown assembly mode {self.mode!r}; "
@@ -296,6 +322,7 @@ class UnifiedAssembler:
                     permutation=self.permutation,
                     kernel_params=self._kernel_params,
                     tracer=self.tracer,
+                    profiler=self.profiler if self.profile else None,
                 )
                 if self.executor == "threads":
                     rhs = tape.execute_chunked(
@@ -318,12 +345,20 @@ class UnifiedAssembler:
                 acc = self.plan.accumulator(
                     key=(variant.name, vector_dim, self._perm_key)
                 )
+            kprofile = None
+            if self.profile:
+                kprofile = self.profiler.for_kernel(variant.name, vector_dim)
             for group in packing:
                 if acc is not None:
                     acc.begin_group(group)
                 ctx = self._context(group, velocity, rhs, scatter=acc)
-                bk = NumpyBackend(ctx)
+                if kprofile is not None:
+                    bk = ProfilingNumpyBackend(ctx, kprofile)
+                else:
+                    bk = NumpyBackend(ctx)
                 variant.kernel(bk, ctx)
+            if kprofile is not None:
+                kprofile.finish_execution()
             if acc is not None:
                 with self.tracer.span("scatter.flush", variant=variant.name):
                     acc.finalize(rhs)

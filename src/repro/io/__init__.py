@@ -8,11 +8,16 @@ from .report import (
     comparison_table_cpu,
     comparison_table_gpu,
 )
-from .artifacts import DEFAULT_ARTIFACT_NAMES, write_bench_artifacts
+from .artifacts import (
+    DEFAULT_ARTIFACT_NAMES,
+    write_bench_artifacts,
+    write_profile_artifacts,
+)
 
 __all__ = [
     "write_vtk",
     "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_TABLE3",
     "comparison_table_cpu", "comparison_table_gpu",
     "DEFAULT_ARTIFACT_NAMES", "write_bench_artifacts",
+    "write_profile_artifacts",
 ]

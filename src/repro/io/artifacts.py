@@ -11,26 +11,53 @@ machine-readable perf trajectory:
   session recorded (open in ``chrome://tracing`` or Perfetto).
 * ``BENCH_spans.jsonl`` -- lossless JSON-lines span log.
 
+A profiled session (``REPRO_BENCH_PROFILE=1``, the default) adds the
+attribution set via :func:`write_profile_artifacts`:
+
+* ``BENCH_roofline_attrib.json`` -- measured per-variant roofline
+  placement (intensity, attainable, efficiency, limiting roof) plus the
+  ASCII Figure-3 render, schema ``repro-roofline-attrib/1``.
+* ``BENCH_flamegraph.txt`` -- collapsed-stack (folded) per-op profile,
+  loadable by speedscope / ``flamegraph.pl``.
+* ``BENCH_prometheus.prom`` -- Prometheus text-exposition snapshot of
+  the metrics registry.
+
 The benchmark harness (``benchmarks/conftest.py``) calls this at session
 exit; ``benchmarks/check_regression.py`` compares the summary against the
-committed baseline.
+committed baseline and (``--drift``) the ``BENCH_history.jsonl`` session
+log appended by ``benchmarks/history.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Any, Dict, List, Optional
 
-from ..obs.export import write_bench_json, write_chrome_trace, write_spans_jsonl
+from ..obs.export import (
+    write_bench_json,
+    write_chrome_trace,
+    write_flamegraph,
+    write_prometheus,
+    write_spans_jsonl,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import NULL_TRACER
 
-__all__ = ["write_bench_artifacts", "DEFAULT_ARTIFACT_NAMES"]
+__all__ = [
+    "write_bench_artifacts",
+    "write_profile_artifacts",
+    "DEFAULT_ARTIFACT_NAMES",
+]
 
 DEFAULT_ARTIFACT_NAMES = {
     "bench": "BENCH_variants.json",
     "trace": "BENCH_trace.json",
     "spans": "BENCH_spans.jsonl",
+    "roofline": "BENCH_roofline_attrib.json",
+    "flamegraph": "BENCH_flamegraph.txt",
+    "prometheus": "BENCH_prometheus.prom",
+    "history": "BENCH_history.jsonl",
 }
 
 
@@ -64,4 +91,43 @@ def write_bench_artifacts(
         spans_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["spans"])
         write_spans_jsonl(spans, spans_path)
         paths["spans"] = spans_path
+    return paths
+
+
+def write_profile_artifacts(
+    outdir: str,
+    attribution: Optional[Dict[str, Any]] = None,
+    collapsed: Optional[Dict[str, float]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, str]:
+    """Write the profiled-session artifact set; returns ``{kind: path}``.
+
+    ``attribution`` is a
+    :meth:`~repro.core.study.OptimizationStudy.roofline_attribution`
+    document, ``collapsed`` a folded-stack mapping (e.g.
+    :meth:`~repro.obs.profiler.TapeProfiler.collapsed`).  Each artifact
+    is only written when its input is present, so an unprofiled session
+    never leaves stale attribution files behind.
+    """
+    os.makedirs(outdir, exist_ok=True)
+    paths: Dict[str, str] = {}
+
+    if attribution:
+        roofline_path = os.path.join(
+            outdir, DEFAULT_ARTIFACT_NAMES["roofline"]
+        )
+        with open(roofline_path, "w", encoding="utf-8") as fh:
+            json.dump(attribution, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths["roofline"] = roofline_path
+
+    if collapsed:
+        flame_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["flamegraph"])
+        write_flamegraph(collapsed, flame_path)
+        paths["flamegraph"] = flame_path
+
+    if metrics is not None:
+        prom_path = os.path.join(outdir, DEFAULT_ARTIFACT_NAMES["prometheus"])
+        write_prometheus(metrics, prom_path)
+        paths["prometheus"] = prom_path
     return paths

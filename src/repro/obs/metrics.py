@@ -16,7 +16,9 @@ reduction of per-rank counter sets.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Any, Dict, List, Optional, Union
 
 __all__ = [
@@ -64,10 +66,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (count/sum/min/max + samples).
+    """Streaming distribution summary (count/sum/min/max + reservoir).
 
-    Keeps at most ``max_samples`` raw observations (the earliest ones) so
-    exports stay bounded; the scalar summary is always exact.
+    Keeps at most ``max_samples`` raw observations via Vitter's
+    reservoir sampling (Algorithm R), so a bounded sample stays uniform
+    over the *whole* stream -- a first-N cap would freeze the sample on
+    the earliest observations and bias long-run quantiles toward warmup
+    behaviour.  The reservoir RNG is seeded from the instrument name, so
+    two runs recording the same stream keep identical samples.  The
+    scalar summary (count/sum/min/max/mean) is always exact; the
+    p50/p95/p99 quantiles in :meth:`snapshot` are reservoir estimates.
     """
 
     kind = "histogram"
@@ -80,6 +88,7 @@ class Histogram:
         self.max: Optional[float] = None
         self.max_samples = int(max_samples)
         self.samples: List[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def record(self, value: float) -> None:
         value = float(value)
@@ -89,10 +98,24 @@ class Histogram:
         self.max = value if self.max is None else max(self.max, value)
         if len(self.samples) < self.max_samples:
             self.samples.append(value)
+        else:
+            # Algorithm R: element i of the stream replaces a reservoir
+            # slot with probability max_samples / i.
+            j = self._rng.randrange(self.count)
+            if j < self.max_samples:
+                self.samples[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile (``q`` in [0, 100]) of the reservoir."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -102,6 +125,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
             "samples": list(self.samples),
         }
 
@@ -170,6 +196,9 @@ class MetricsRegistry:
                 hist = self.histogram(name)
                 n = int(data.get("count", 0))
                 samples = list(data.get("samples", []))
+                # incoming samples are a uniform reservoir of the source
+                # stream; replaying them through record() folds them into
+                # this instrument's reservoir with the right weighting.
                 for v in samples:
                     hist.record(v)
                 # account for clipped samples without losing the summary

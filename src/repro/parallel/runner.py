@@ -220,25 +220,38 @@ def _assemble_chunk(
     repeats: int,
     traced: bool,
     program=None,
-) -> Tuple[float, List[dict], Tuple[float, float, float]]:
+    profiled: bool = False,
+) -> Tuple[float, List[dict], Tuple[float, float, float], List[dict], dict]:
     """Assemble one element chunk ``repeats`` times.
 
-    Returns ``(seconds, spans, checksum)`` where ``checksum`` is the
-    component-wise sum of the chunk's elemental RHS -- a deterministic
-    fingerprint the chaos tests compare bitwise between fault-free and
-    fault-recovered runs (the serial fallback reproduces it exactly).
+    Returns ``(seconds, spans, checksum, profiles, metrics)`` where
+    ``checksum`` is the component-wise sum of the chunk's elemental RHS --
+    a deterministic fingerprint the chaos tests compare bitwise between
+    fault-free and fault-recovered runs (the serial fallback reproduces it
+    exactly) -- and ``profiles``/``metrics`` are this rank's op-level
+    profile snapshots and published metric snapshot when ``profiled``
+    (empty otherwise); the parent folds them through
+    :meth:`~repro.obs.profiler.TapeProfiler.merge` and the existing
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge` reduction.
 
     With a compiled :class:`~repro.core.tape.TapeProgram` the chunk runs
     through an :class:`~repro.core.tape.ElementalTape` whose buffer arena
     is bound once and reused across all repeats; otherwise the vectorized
-    reference :func:`~repro.physics.momentum.element_rhs` runs.
+    reference :func:`~repro.physics.momentum.element_rhs` runs (op-level
+    profiling needs the tape's op table, so it only covers compiled mode).
     """
     tracer = Tracer(pid=rank) if traced else NULL_TRACER
     tape = None
+    profiler = None
     if program is not None:
         from ..core.tape import ElementalTape
 
         tape = ElementalTape(program)
+        if profiled:
+            from ..obs.profiler import TapeProfiler
+
+            profiler = TapeProfiler()
+            tape.profile = profiler.for_elemental(program, int(len(xel)))
     elem = None
     t0 = time.perf_counter()
     with tracer.span("rank", rank=rank, nelem=int(len(xel)), repeats=repeats):
@@ -254,10 +267,17 @@ def _assemble_chunk(
     else:
         sums = elem.sum(axis=(0, 1))
         checksum = (float(sums[0]), float(sums[1]), float(sums[2]))
-    return seconds, tracer.export(), checksum
+    profile_snap: List[dict] = []
+    metrics_snap: dict = {}
+    if profiler is not None:
+        profile_snap = profiler.snapshot()
+        local = MetricsRegistry()
+        profiler.publish(local)
+        metrics_snap = local.snapshot()
+    return seconds, tracer.export(), checksum, profile_snap, metrics_snap
 
 
-def _worker_assemble(args: Tuple) -> Tuple[float, List[dict], Tuple[float, float, float]]:
+def _worker_assemble(args: Tuple):
     """Pool worker: map a zero-copy view of the shared element arrays and
     assemble the ``[start, stop)`` chunk (module-level for pickling).
 
@@ -279,6 +299,7 @@ def _worker_assemble(args: Tuple) -> Tuple[float, List[dict], Tuple[float, float
         params,
         repeats,
         traced,
+        profiled,
         program,
         fault_plan,
         attempt,
@@ -304,6 +325,7 @@ def _worker_assemble(args: Tuple) -> Tuple[float, List[dict], Tuple[float, float
             repeats,
             traced,
             program,
+            profiled,
         )
     finally:
         del xall, uall
@@ -347,6 +369,16 @@ class MultiprocessRunner:
     ``ordering`` (any :data:`repro.fem.reorder.STRATEGIES` entry) permutes
     the packed element arrays along the named space-filling curve before
     chunking, so each worker sweeps a spatially contiguous slab.
+
+    ``profile=True`` (compiled mode only) attaches op-level software
+    counters to every rank's :class:`~repro.core.tape.ElementalTape`:
+    per-rank profiles return with the results and are folded into
+    :attr:`profiler` (op detail) and the metrics registry (published
+    ``profile.*`` counters, reduced through
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge` -- the same path
+    per-rank span/metric sets already take).  ``prometheus_path`` makes
+    long campaigns refresh a Prometheus textfile after each measured
+    point (at most once per ``prometheus_interval`` seconds).
     """
 
     def __init__(
@@ -362,6 +394,10 @@ class MultiprocessRunner:
         policy: Optional[WorkerPolicy] = None,
         fault_plan=None,
         ordering: str = "none",
+        profile: bool = False,
+        profiler=None,
+        prometheus_path: Optional[str] = None,
+        prometheus_interval: float = 5.0,
     ) -> None:
         if assembly_mode not in ("reference", "compiled"):
             raise ValueError(
@@ -384,6 +420,27 @@ class MultiprocessRunner:
         self.policy = policy or WorkerPolicy()
         self.fault_plan = fault_plan
         self.ordering = ordering
+        self.profile = bool(profile) or profiler is not None
+        if self.profile and self.assembly_mode != "compiled":
+            raise ValueError(
+                "profile=True requires assembly_mode='compiled': op-level "
+                "profiling reads the tape program's op table"
+            )
+        if self.profile and profiler is None:
+            from ..obs.profiler import TapeProfiler
+
+            profiler = TapeProfiler()
+        #: merged op-level profiles of every profiled rank (all counts)
+        self.profiler = profiler
+        self._prom = None
+        if prometheus_path is not None:
+            from ..obs.export import PrometheusExporter
+
+            self._prom = PrometheusExporter(
+                prometheus_path,
+                metrics=self._metrics,
+                interval=prometheus_interval,
+            )
         #: per-measure chunk fingerprints: {workers: [checksum per rank]}
         self.chunk_checksums: Dict[int, List[Tuple[float, float, float]]] = {}
         rng = np.random.default_rng(seed)
@@ -495,7 +552,8 @@ class MultiprocessRunner:
                         self.params,
                         self.repeats,
                         bool(self.tracer.enabled),
-                        chunk_args[rank][9],
+                        program=chunk_args[rank][10],
+                        profiled=bool(chunk_args[rank][9]),
                     )
         return results
 
@@ -555,6 +613,7 @@ class MultiprocessRunner:
                         self.params,
                         self.repeats,
                         traced,
+                        self.profile,
                         program,
                         self.fault_plan,
                         0,  # attempt; rewritten per dispatch
@@ -580,6 +639,7 @@ class MultiprocessRunner:
                                 self.repeats,
                                 traced,
                                 program,
+                                self.profile,
                             )
                         ]
                     else:
@@ -594,9 +654,18 @@ class MultiprocessRunner:
                     (xall.nbytes + uall.nbytes) if w > 1 else 0
                 )
                 # merge per-rank timelines (worker pids relabelled to ranks)
-                for rank, (_, rank_spans, _) in enumerate(results):
+                for rank, (_, rank_spans, _, _, _) in enumerate(results):
                     self.tracer.add_spans(rank_spans, pid=rank)
-                self.chunk_checksums[w] = [cs for (_, _, cs) in results]
+                self.chunk_checksums[w] = [cs for (_, _, cs, _, _) in results]
+                # fold per-rank profiles + published metrics into the
+                # parent (the existing cross-process metric reduction)
+                for (_, _, _, psnap, msnap) in results:
+                    if psnap and self.profiler is not None:
+                        self.profiler.merge(psnap)
+                    if msnap:
+                        registry.merge(msnap)
+                if self._prom is not None:
+                    self._prom.maybe_write()
                 raw.append((w, wall))
             ok = True
         finally:
@@ -615,6 +684,8 @@ class MultiprocessRunner:
                     # next measurement over it.
                     pass
 
+        if self._prom is not None:
+            self._prom.flush()
         base_workers, base_wall = min(raw, key=lambda p: p[0])
         points = []
         for w, wall in raw:

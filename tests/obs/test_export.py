@@ -89,3 +89,71 @@ def test_bench_json_rejects_wrong_schema(tmp_path):
     path.write_text(json.dumps({"schema": "other/9", "entries": []}))
     with pytest.raises(ValueError, match="schema"):
         read_bench_json(str(path))
+
+
+# -- collapsed stacks / flamegraph ------------------------------------------
+
+
+def test_collapse_spans_self_time(traced):
+    from repro.obs import collapse_spans
+
+    collapsed = collapse_spans(traced.finished)
+    # parent self-time excludes the completed child's duration
+    outer = next(k for k in collapsed if k.endswith(";outer"))
+    inner = next(k for k in collapsed if "outer;inner" in k)
+    assert outer.startswith("rank1;")
+    assert collapsed[outer] >= 0 and collapsed[inner] >= 0
+    total = sum(collapsed.values())
+    wall = sum(
+        s.end - s.start for s in traced.finished if s.parent_id is None
+    )
+    assert total <= wall * 1e6 + 2  # self-times never exceed wall (usec)
+
+
+def test_write_flamegraph_sorted_lines(tmp_path):
+    from repro.obs import write_flamegraph
+
+    path = tmp_path / "flame.txt"
+    n = write_flamegraph({"a;b": 5, "a;c": 0, "a": 7}, str(path))
+    lines = path.read_text().splitlines()
+    assert n == len(lines) == 2  # zero-weight stack dropped
+    assert lines == sorted(lines)
+
+
+# -- prometheus text exposition ---------------------------------------------
+
+
+def test_prometheus_text_instruments():
+    from repro.obs import prometheus_text
+
+    reg = MetricsRegistry()
+    reg.counter("runner.tasks").inc(3)
+    reg.gauge("study.wall_ms.RSP").set(12.5)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        reg.histogram("cg.iters").record(v)
+    text = prometheus_text(reg)
+    assert "# TYPE repro_runner_tasks counter" in text
+    assert "repro_runner_tasks 3" in text
+    assert "# TYPE repro_study_wall_ms_RSP gauge" in text
+    assert "repro_study_wall_ms_RSP 12.5" in text
+    assert "# TYPE repro_cg_iters summary" in text
+    assert 'repro_cg_iters{quantile="0.5"}' in text
+    assert "repro_cg_iters_count 4" in text
+    assert "repro_cg_iters_sum 10" in text
+
+
+def test_prometheus_exporter_interval_gate(tmp_path):
+    from repro.obs import PrometheusExporter
+
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    path = tmp_path / "m.prom"
+    exporter = PrometheusExporter(str(path), metrics=reg, interval=3600.0)
+    assert exporter.maybe_write(now=0.0)  # first write always lands
+    assert not exporter.maybe_write(now=10.0)  # gated by the interval
+    assert exporter.maybe_write(now=4000.0)
+    exporter.flush()  # unconditional
+    assert exporter.writes == 3
+    assert "repro_c 1" in path.read_text()
+    # atomic write leaves no temp file behind
+    assert list(tmp_path.iterdir()) == [path]

@@ -1,0 +1,236 @@
+"""Bench history store + EWMA/CUSUM drift detection (warn-only CI lane)."""
+
+import importlib.util
+import json
+import math
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _load(module, filename):
+    spec = importlib.util.spec_from_file_location(
+        module, REPO_ROOT / "benchmarks" / filename
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def history():
+    return _load("bench_history_under_test", "history.py")
+
+
+@pytest.fixture(scope="module")
+def check_regression():
+    return _load("check_regression_under_test", "check_regression.py")
+
+
+def _entry(wall, variant="RSP", **kw):
+    row = {"variant": variant, "vector_dim": 64, "mode": "compiled",
+           "executor": "serial", "wall_ms": wall}
+    row.update(kw)
+    return row
+
+
+# -- store ------------------------------------------------------------------
+
+
+def test_append_and_read_roundtrip(history, tmp_path):
+    path = tmp_path / "hist.jsonl"
+    for i in range(3):
+        rec = history.append_history(
+            str(path),
+            [_entry(10.0 + i), {"benchmark": "scatter"}],  # no-variant row
+            meta={"session": i},
+            timestamp=100.0 + i,
+        )
+        assert rec["schema"] == history.HISTORY_SCHEMA
+    records = history.read_history(str(path))
+    assert len(records) == 3
+    assert [r["timestamp"] for r in records] == [100.0, 101.0, 102.0]
+    # variant-less side rows are dropped; slim rows keep key + measured
+    assert all(len(r["entries"]) == 1 for r in records)
+    row = records[0]["entries"][0]
+    assert row == {"variant": "RSP", "vector_dim": 64, "mode": "compiled",
+                   "executor": "serial", "wall_ms": 10.0}
+
+
+def test_read_skips_corrupt_lines(history, tmp_path):
+    path = tmp_path / "hist.jsonl"
+    history.append_history(str(path), [_entry(1.0)], timestamp=1.0)
+    with open(path, "a") as fh:
+        fh.write("{truncated by a killed CI job\n")
+    history.append_history(str(path), [_entry(2.0)], timestamp=2.0)
+    records = history.read_history(str(path))
+    assert len(records) == 2
+
+
+def test_series_groups_by_entry_key(history):
+    records = [
+        {"entries": [_entry(1.0), _entry(9.0, variant="RS")]},
+        {"entries": [_entry(2.0), _entry(8.0, variant="RS")]},
+    ]
+    s = history.series(records)
+    assert s[("variants", "RSP", 64, "compiled", None, "serial")] == [1.0, 2.0]
+    assert s[("variants", "RS", 64, "compiled", None, "serial")] == [9.0, 8.0]
+    # a different executor is a different series
+    records[0]["entries"][0] = _entry(5.0, executor="threads")
+    s = history.series(records)
+    assert ("variants", "RSP", 64, "compiled", None, "threads") in s
+
+
+def test_key_label(history):
+    assert history.key_label(
+        ("variants", "RSP", 1024, "compiled", None, "serial")
+    ) == "RSP@vd1024"
+    assert history.key_label(
+        ("tape", "RS", 64, "compiled", "sfc", "threads")
+    ) == "tape/RS@vd64+sfc+threads"
+
+
+# -- EWMA drift -------------------------------------------------------------
+
+
+def test_ewma_flags_genuine_drift(history):
+    flat = [10.0 + 0.01 * (i % 3) for i in range(12)]
+    assert not history.ewma_drift(flat)["drift"]
+    jumped = flat[:-1] + [13.0]  # +30% on the last session
+    verdict = history.ewma_drift(jumped)
+    assert verdict["drift"]
+    assert verdict["excess"] > 0.25
+    assert verdict["z"] > 3.0
+
+
+def test_ewma_ignores_noise_and_improvement(history):
+    # noisy-but-flat: large std swallows the excursion (z gate)
+    noisy = [10.0, 14.0, 7.0, 12.0, 8.0, 13.0, 9.0, 12.5]
+    assert not history.ewma_drift(noisy)["drift"]
+    # getting faster is never drift (one-sided)
+    faster = [10.0] * 10 + [6.0]
+    assert not history.ewma_drift(faster)["drift"]
+    # tiny jitter above a tiny mean: relative gate holds it back
+    jitter = [10.0] * 10 + [10.4]
+    assert not history.ewma_drift(jitter)["drift"]
+
+
+def test_ewma_short_series_never_drifts(history):
+    assert not history.ewma_drift([])["drift"]
+    assert not history.ewma_drift([1.0, 100.0])["drift"]
+    assert not history.ewma_drift([1.0] * 4 + [99.0], min_points=6)["drift"]
+
+
+def test_ewma_zero_variance_history(history):
+    verdict = history.ewma_drift([10.0] * 10 + [13.0])
+    assert verdict["std"] == 0.0 and math.isinf(verdict["z"])
+    assert verdict["drift"]
+
+
+# -- CUSUM changepoint ------------------------------------------------------
+
+
+def test_cusum_finds_sustained_shift(history):
+    values = [10.0] * 10 + [12.0] * 10
+    idx = history.cusum_changepoint(values)
+    assert idx is not None
+    # values are z-scored against the whole series, so the detector may
+    # fire on the low pre-shift plateau or the high post-shift one --
+    # either way it localizes the shift's neighbourhood
+    assert 5 <= idx <= 14
+
+    assert history.cusum_changepoint([10.0] * 20) is None
+    # a single-point spike is not a sustained shift
+    spiky = [10.0] * 10 + [12.0] + [10.0] * 9
+    assert history.cusum_changepoint(spiky) is None
+
+
+def test_cusum_short_or_constant_series(history):
+    assert history.cusum_changepoint([10.0, 12.0]) is None
+    assert history.cusum_changepoint([5.0] * 30) is None
+
+
+# -- drift_report + CLI -----------------------------------------------------
+
+
+def _write_history(history, path, walls, variant="RSP"):
+    for i, w in enumerate(walls):
+        history.append_history(
+            str(path), [_entry(w, variant=variant)], timestamp=float(i)
+        )
+
+
+def test_drift_report_windows_and_labels(history, tmp_path):
+    path = tmp_path / "hist.jsonl"
+    _write_history(history, path, [10.0] * 14 + [13.5])
+    findings = history.drift_report(history.read_history(str(path)))
+    assert len(findings) == 1
+    f = findings[0]
+    assert f["label"] == "RSP@vd64"
+    assert f["field"] == "wall_ms"
+    assert f["drift"]
+    # a window that excludes the old plateau sees too few points to fire
+    assert history.drift_report(
+        history.read_history(str(path)), window=3
+    ) == []
+
+
+def test_check_regression_drift_cli(history, check_regression, tmp_path,
+                                    capsys):
+    path = tmp_path / "hist.jsonl"
+    _write_history(history, path, [10.0] * 14 + [14.0])
+    rc = check_regression.main(
+        ["--drift", "--history", str(path),
+         "--bench", str(tmp_path / "missing.json")]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0  # drift is always warn-only
+    assert "DRIFT" in out
+    assert "RSP@vd64" in out
+
+    # quiet history: explicit all-clear line
+    quiet = tmp_path / "quiet.jsonl"
+    _write_history(history, quiet, [10.0] * 15)
+    rc = check_regression.main(
+        ["--drift", "--history", str(quiet),
+         "--bench", str(tmp_path / "missing.json")]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0 and "drift OK" in out
+
+    # missing history file: skipped, not fatal
+    rc = check_regression.main(
+        ["--drift", "--history", str(tmp_path / "nope.jsonl"),
+         "--bench", str(tmp_path / "missing.json")]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0 and "drift skipped" in out
+
+
+def test_check_regression_strict_ignores_drift(history, check_regression,
+                                               tmp_path, capsys):
+    """--strict gates on baseline regressions, never on drift findings."""
+    path = tmp_path / "hist.jsonl"
+    _write_history(history, path, [10.0] * 14 + [14.0])
+    bench = {"schema": "repro-bench/1", "entries": [_entry(10.0)],
+             "metrics": {}}
+    baseline = {"schema": "repro-bench/1", "entries": [_entry(10.0)],
+                "metrics": {}}
+    bench_path = tmp_path / "bench.json"
+    base_path = tmp_path / "base.json"
+    bench_path.write_text(json.dumps(bench))
+    base_path.write_text(json.dumps(baseline))
+    rc = check_regression.main(
+        ["--drift", "--strict", "--history", str(path),
+         "--bench", str(bench_path), "--baseline", str(base_path)]
+    )
+    out = capsys.readouterr().out
+    assert "DRIFT" in out
+    assert rc == 0
+
+
+def test_entry_key_shared_with_check_regression(history, check_regression):
+    entry = _entry(1.0, ordering="sfc")
+    assert check_regression._entry_key(entry) == history.entry_key(entry)

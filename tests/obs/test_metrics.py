@@ -117,3 +117,99 @@ def test_default_registry_set_reset():
     finally:
         set_registry(original)
     assert get_registry() is original
+
+
+# -- reservoir sampling + merge edge cases ----------------------------------
+
+
+def test_merge_empty_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.merge(b)
+    assert a.snapshot() == {}
+    a.merge({})  # empty snapshot form
+    assert a.snapshot() == {}
+    # empty merged into populated leaves it untouched
+    c = MetricsRegistry()
+    c.counter("n").inc(2)
+    c.merge(MetricsRegistry())
+    assert c.snapshot()["n"]["value"] == 2
+
+
+def test_merge_same_name_different_kind_raises():
+    a = MetricsRegistry()
+    a.counter("x").inc()
+    b = MetricsRegistry()
+    b.gauge("x").set(1.0)
+    with pytest.raises(TypeError):
+        a.merge(b)
+    c = MetricsRegistry()
+    c.histogram("x").record(1.0)
+    with pytest.raises(TypeError):
+        a.merge(c.snapshot())
+
+
+def test_reservoir_bounds_and_exact_summary():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h")
+    hist.max_samples = 64
+    for i in range(1000):
+        hist.record(float(i))
+    assert len(hist.samples) == 64  # bounded
+    # scalar summary stays exact regardless of sampling
+    assert hist.count == 1000
+    assert hist.total == sum(range(1000))
+    assert hist.min == 0.0 and hist.max == 999.0
+    # the reservoir is uniform over the whole stream, not the first 64:
+    # late observations must appear
+    assert any(s >= 500.0 for s in hist.samples)
+
+
+def test_reservoir_deterministic_per_name():
+    def fill(name):
+        reg = MetricsRegistry()
+        h = reg.histogram(name)
+        h.max_samples = 16
+        for i in range(500):
+            h.record(float(i))
+        return list(h.samples)
+
+    assert fill("same") == fill("same")  # name-seeded RNG
+    assert fill("same") != fill("other")
+
+
+def test_percentiles_in_snapshot():
+    reg = MetricsRegistry()
+    hist = reg.histogram("h")
+    for i in range(101):
+        hist.record(float(i))
+    snap = reg.snapshot()["h"]
+    assert snap["p50"] == 50.0
+    assert snap["p95"] == 95.0
+    assert snap["p99"] == 99.0
+    # empty histogram reports None quantiles
+    empty = MetricsRegistry().histogram("e").snapshot()
+    assert empty["p50"] is None and empty["p99"] is None
+
+
+def test_histogram_snapshot_merge_after_reservoir():
+    """Merging a clipped reservoir snapshot keeps exact scalars and a
+    bounded sample set, and the quantiles remain computable."""
+    src = MetricsRegistry()
+    hist = src.histogram("h")
+    hist.max_samples = 8
+    for i in range(100):
+        hist.record(float(i))
+    snap = src.snapshot()
+    assert len(snap["h"]["samples"]) == 8
+
+    dst = MetricsRegistry()
+    dst.histogram("h").max_samples = 8
+    for i in range(100, 120):
+        dst.histogram("h").record(float(i))
+    dst.merge(snap)
+    merged = dst.snapshot()["h"]
+    assert merged["count"] == 120
+    assert merged["sum"] == sum(range(120))
+    assert merged["min"] == 0.0 and merged["max"] == 119.0
+    assert len(merged["samples"]) <= 8
+    assert merged["p50"] is not None

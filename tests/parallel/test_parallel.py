@@ -353,3 +353,43 @@ def test_runner_sfc_ordering_single_worker():
     points = runner.measure([1])
     assert len(points) == 1
     assert registry.snapshot()["locality.runner_reorders"]["value"] == 1
+
+
+def test_runner_profiled_rank_folds_into_parent():
+    """Profiled compiled runner: per-rank op profiles return with the
+    results and fold into the parent profiler + metrics registry (the
+    w==1 path runs in-process, so no spawn pool is needed)."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel import MultiprocessRunner
+
+    mesh = box_tet_mesh(3, 3, 3)
+    params = AssemblyParams(body_force=(0.0, 0.0, 0.1))
+    plain = MultiprocessRunner(
+        mesh, params, repeats=1, assembly_mode="compiled", variant="RS"
+    )
+    plain.measure([1])
+
+    registry = MetricsRegistry()
+    runner = MultiprocessRunner(
+        mesh, params, repeats=1, assembly_mode="compiled", variant="RS",
+        metrics=registry, profile=True,
+    )
+    runner.measure([1])
+    # profiled chunk checksums match the unprofiled run bit-for-bit
+    assert runner.chunk_checksums[1] == plain.chunk_checksums[1]
+    prof = runner.profiler.profiles[("RS", mesh.nelem, "elemental", "worker")]
+    assert prof.executions == 1  # repeats=1, one rank
+    assert prof.total_seconds > 0 and prof.total_bytes > 0
+    snap = registry.snapshot()
+    assert snap["profile.executions.RS.elemental"]["value"] == 1
+    assert snap["profile.bytes.RS.elemental"]["value"] > 0
+
+
+def test_runner_profile_requires_compiled_mode():
+    from repro.parallel import MultiprocessRunner
+
+    mesh = box_tet_mesh(3, 3, 3)
+    with pytest.raises(ValueError, match="compiled"):
+        MultiprocessRunner(
+            mesh, AssemblyParams(), assembly_mode="reference", profile=True
+        )
