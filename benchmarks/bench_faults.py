@@ -7,8 +7,8 @@ wall-clock price of the recovery machinery:
   respawned pool; per-chunk checksums must match the clean run bitwise.
 * ``integrator_nan`` -- NaN in one RHS sweep: rollback + dt halving.
 * ``solver_breakdown`` -- sabotaged CG matvec: deflation rescue (rung 1).
-* ``tape_corruption`` -- corrupted compiled assembly: degradation to the
-  interpreted rung, validated against the reference.
+* ``tape_corruption`` -- corrupted codegen assembly: degradation to the
+  compiled rung, validated against the reference.
 
 Every scenario runs under a *private* metrics registry (installed
 process-wide for its duration) so the bench session's registry stays
@@ -178,7 +178,7 @@ def scenario_tape_corruption(seed: int):
         )
         rhs, t_fault = _timed(lambda: asm(mesh, u, params))
     recovered = bool(
-        asm.mode == "interpreted"
+        asm.mode == "compiled"
         and np.allclose(rhs, ref, rtol=1e-8, atol=1e-12)
     )
     return _row(

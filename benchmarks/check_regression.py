@@ -51,6 +51,7 @@ _FIELDS = (
     "wall_ms",
     "interpreted_ms",
     "compiled_ms",
+    "codegen_ms",
     "gpu_model_runtime_ms",
     "cpu_model_runtime_ms",
 )
@@ -245,7 +246,7 @@ def main(argv=None) -> int:
                 f"  {label:>20s} {field:<22s} {old:10.3f} -> {new:10.3f} ms "
                 f"({ratio - 1.0:+.0%})"
             )
-            wall_regressed |= field in ("wall_ms", "compiled_ms")
+            wall_regressed |= field in ("wall_ms", "compiled_ms", "codegen_ms")
     if args.strict and (wall_regressed or degraded):
         flush_report()
         return 1

@@ -59,11 +59,13 @@ HISTORY_FIELDS = (
     "wall_ms",
     "interpreted_ms",
     "compiled_ms",
+    "codegen_ms",
     "gpu_model_runtime_ms",
     "cpu_model_runtime_ms",
     "profiled_seconds",
     "profiled_bytes",
     "byte_residual",
+    "ops_per_s",
 )
 
 

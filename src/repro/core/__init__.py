@@ -33,6 +33,15 @@ from .tape import (
     compiled_tape,
     record_program,
 )
+from .codegen import (
+    CodegenProgram,
+    ElementalCodegenProgram,
+    ElementalGeneratedKernel,
+    GeneratedKernel,
+    generate_elemental_program,
+    generate_program,
+    generated_kernel,
+)
 from .unified import (
     CPU_VECTOR_DIM,
     GPU_VECTOR_DIM,
@@ -59,6 +68,9 @@ __all__ = [
     "VARIANTS", "Variant", "get_variant", "variant_names",
     "CompiledTape", "ElementalTape", "RecordingBackend", "TapeProgram",
     "TapeReport", "compiled_tape", "record_program",
+    "CodegenProgram", "ElementalCodegenProgram", "ElementalGeneratedKernel",
+    "GeneratedKernel", "generate_elemental_program", "generate_program",
+    "generated_kernel",
     "CPU_VECTOR_DIM", "GPU_VECTOR_DIM", "SpecializationError",
     "UnifiedAssembler",
     "DEFAULT_CANDIDATES", "DEFAULT_CHUNK_CANDIDATES", "AutotuneResult",

@@ -176,6 +176,7 @@ def autotune_chunk_groups(
     velocity: Optional[np.ndarray] = None,
     vector_dim: Optional[int] = None,
     num_threads: Optional[int] = None,
+    mode: str = "compiled",
     tracer=None,
     persist: bool = True,
 ) -> AutotuneResult:
@@ -183,7 +184,8 @@ def autotune_chunk_groups(
 
     Complements :func:`autotune_vector_dim`: with the group size fixed
     (explicit ``vector_dim`` or the plan's tuned winner), this times
-    :meth:`~repro.core.tape.CompiledTape.execute_chunked` at each
+    the chunked executor (``mode="compiled"`` tape replay or
+    ``mode="codegen"`` generated kernels) at each
     candidate ``chunk_groups`` and persists the fastest via
     :meth:`~repro.fem.plan.AssemblyPlan.set_tuned_chunk_groups`, where
     threaded assemblers constructed without an explicit ``chunk_groups``
@@ -213,7 +215,7 @@ def autotune_chunk_groups(
         for cg in cand:
             kwargs = dict(
                 vector_dim=vector_dim,
-                mode="compiled",
+                mode=mode,
                 executor="threads",
                 num_threads=num_threads,
                 chunk_groups=cg,
@@ -234,7 +236,7 @@ def autotune_chunk_groups(
     winner = min(zip(walls, cand))[1]
     result = AutotuneResult(
         variant=variant,
-        mode="compiled",
+        mode=mode,
         nelem=int(mesh.nelem),
         candidates=cand,
         wall_seconds=tuple(walls),

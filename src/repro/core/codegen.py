@@ -1,0 +1,1385 @@
+"""Tape-to-source code generation: fused, exec-compiled assembly kernels.
+
+The compiled tapes of :mod:`repro.core.tape` eliminate per-op *allocation*
+but still replay op-by-op through a Python loop -- thousands of ufunc
+dispatch round trips per sweep, which the op-level profiler attributes as
+pure dispatch overhead on short-lived ops.  This module removes that last
+interpreter layer, the Python analogue of the paper's single fused OpenACC
+kernel per variant: each recorded kernel tape is lowered to *generated
+Python source* -- one function per ``(variant, vector_dim)`` -- that is
+``exec``-compiled once and cached on the :class:`~repro.fem.plan.AssemblyPlan`
+next to the tape, so a sweep becomes a single function call per chunk.
+
+Lowering pipeline (all passes operate on the recorder's SSA op list):
+
+1. **DCE** backwards from the scatter roots (same algorithm as
+   :func:`~repro.core.tape.compile_tape`).
+2. **CSE** with structural keys; scalar operands key on their exact
+   ``float64`` bits (``tobytes``), never on Python ``float`` equality,
+   so ``-0.0``/``0.0`` are not merged and bit-identity survives.
+3. **Invariant hoisting**: ops depending only on coordinate gathers are
+   loop-invariant across sweeps; they (and scatters of invariant values)
+   move to a ``setup`` function executed once at bind time into pinned
+   full-width buffers.
+4. **DFS scheduling** from the scatter roots, shrinking producer-consumer
+   distance so the liveness pass below needs far fewer slab rows than the
+   recorded order.
+5. **Single-use fusion**: a unary/binary/select op whose value is consumed
+   exactly once is inlined into its consumer's expression (bounded depth),
+   collapsing ufunc chains into single numpy expressions.  Selects are
+   emitted as ``where(greater(x, t), a, b)`` expressions, which evaluate
+   their arguments before the destination is written -- no aliasing
+   protection needed anywhere.
+6. **Statement liveness** assigns the surviving statement outputs to a
+   small slab of reusable rows (LIFO free list, dying operands released
+   before the output is placed so in-place ``out=`` aliasing happens
+   naturally).
+
+Bit-identity contract
+---------------------
+Generated code must match the interpreted backend *exactly*.  Every pass
+preserves bits: DCE/CSE/scheduling only drop or reorder pure SSA value
+definitions (each value is still computed by the identical ufunc over
+identical operands); hoisting replays invariant ops once instead of every
+sweep (same inputs, same bits); fusion feeds a ufunc the freshly computed
+operand array instead of a stored copy of it; ``where`` is pure selection;
+and scatter values land in the same ``(group, call, lane)`` layout flushed
+by the same shared plan pattern as the compiled tape.  Scalar literals are
+embedded via ``repr(float(x))`` -- shortest round-trip repr is exact for
+float64 -- with non-finite values spelled ``float('inf')`` etc.
+
+Generated source is fully deterministic (all set iterations are sorted),
+so a pickled :class:`ElementalCodegenProgram` rebuilds byte-identical
+source in every pool worker and the module-level code cache
+(:data:`_CODE_CACHE`) guarantees a cache hit never re-``exec``\\ s.
+
+Set ``REPRO_CODEGEN_DUMP=<dir>`` to dump every generated module to
+``<dir>/<variant>_vd<N>.py`` / ``<dir>/<variant>_elemental.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+from ..obs.profiler import NULL_PROFILER
+from ..obs.spans import NULL_TRACER, get_tracer
+from .dsl import KernelContext
+from .tape import (
+    RecordingBackend,
+    TapeReport,
+    _UFUNC_NAMES,
+    _is_scalar,
+    tape_cache_key,
+)
+from .variants import get_variant
+
+__all__ = [
+    "DEFAULT_CHUNK_LANES",
+    "MAX_FUSE_DEPTH",
+    "CodegenProgram",
+    "ElementalCodegenProgram",
+    "GeneratedKernel",
+    "ElementalGeneratedKernel",
+    "generate_program",
+    "generate_elemental_program",
+    "generated_kernel",
+]
+
+#: default lane count per generated-kernel chunk (ufunc bandwidth sweet
+#: spot on cache-resident slabs; chunk_groups = DEFAULT_CHUNK_LANES / vd)
+DEFAULT_CHUNK_LANES = 4096
+
+#: maximum fused-subtree depth inlined into one expression
+MAX_FUSE_DEPTH = 10
+
+#: names resolvable inside generated modules (picklable source resolves
+#: ufuncs at exec time, exactly like the tape's _UFUNC_NAMES indirection)
+_NAMESPACE: Dict[str, object] = {
+    "take": np.take,
+    "copyto": np.copyto,
+    "where": np.where,
+    "greater": np.greater,
+}
+for _name in sorted(set(_UFUNC_NAMES.values())):
+    _NAMESPACE[_name] = getattr(np, _name)
+
+#: source string -> compiled code object; a cache hit never re-compiles
+_CODE_CACHE: Dict[str, object] = {}
+
+
+# ---------------------------------------------------------------------------
+# SSA passes
+# ---------------------------------------------------------------------------
+
+
+def _annotate(ops: Sequence[tuple]) -> List[tuple]:
+    """Rewrite scatters ``(sc, slot, comp, src)`` to carry their call
+    index: ``(sc, call, slot, comp, src)``.  The call index survives DCE
+    (scatters are roots, never removed) and names the op's row in the
+    deferred values buffer."""
+    out: List[tuple] = []
+    call = 0
+    for op in ops:
+        if op[0] == "sc":
+            out.append(("sc", call, op[1], op[2], op[3]))
+            call += 1
+        else:
+            out.append(op)
+    return out
+
+
+def _reads(op: tuple) -> Tuple:
+    """Operand refs (vector ids or folded scalars) of an annotated op."""
+    tag = op[0]
+    if tag == "bin":
+        return (op[2], op[3])
+    if tag == "un":
+        return (op[2],)
+    if tag == "sel":
+        return (op[1], op[2], op[3])
+    if tag == "sc":
+        return (op[4],)
+    return ()  # gc / gf
+
+
+def _dce(ops: List[tuple]) -> Tuple[List[tuple], int]:
+    """Drop ops unreachable backwards from the scatter roots."""
+    needed: Set[int] = set()
+    keep = [False] * len(ops)
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op[0] == "sc" or op[-1] in needed:
+            keep[i] = True
+            for r in _reads(op):
+                if not _is_scalar(r):
+                    needed.add(r)
+    live = [op for op, k in zip(ops, keep) if k]
+    return live, len(ops) - len(live)
+
+
+def _scalar_key(x) -> bytes:
+    """Exact-bits CSE key for a folded scalar.  ``tobytes`` distinguishes
+    ``-0.0`` from ``0.0`` (Python ``float`` equality would merge them,
+    changing bits at e.g. ``x + -0.0`` for ``x = -0.0``)."""
+    return np.float64(x).tobytes()
+
+
+def _cse(ops: List[tuple]) -> Tuple[List[tuple], int]:
+    """Merge structurally identical value definitions.
+
+    A duplicate's consumers are rewritten to the first occurrence as they
+    stream through (SSA: operands always precede their uses), so no
+    re-DCE is needed -- the canonical op keeps every producer alive that
+    the duplicate kept alive.
+    """
+    rep: Dict[int, int] = {}
+    table: Dict[tuple, int] = {}
+    out_ops: List[tuple] = []
+    removed = 0
+
+    def res(r):
+        return r if _is_scalar(r) else rep.get(r, r)
+
+    def rkey(r):
+        return ("s", _scalar_key(r)) if _is_scalar(r) else ("v", res(r))
+
+    for op in ops:
+        tag = op[0]
+        if tag == "sc":
+            out_ops.append(("sc", op[1], op[2], op[3], res(op[4])))
+            continue
+        if tag == "bin":
+            key = ("bin", op[1], rkey(op[2]), rkey(op[3]))
+            new = ("bin", op[1], res(op[2]), res(op[3]), op[4])
+        elif tag == "un":
+            key = ("un", op[1], rkey(op[2]))
+            new = ("un", op[1], res(op[2]), op[3])
+        elif tag == "sel":
+            key = ("sel", rkey(op[1]), rkey(op[2]), rkey(op[3]),
+                   _scalar_key(op[4]))
+            new = ("sel", res(op[1]), res(op[2]), res(op[3]), op[4], op[5])
+        elif tag == "gc":
+            key = ("gc", op[1], op[2])
+            new = op
+        else:  # gf
+            key = ("gf", op[1], op[2], op[3])
+            new = op
+        prev = table.get(key)
+        if prev is not None:
+            rep[op[-1]] = prev
+            removed += 1
+            continue
+        table[key] = op[-1]
+        out_ops.append(new)
+    return out_ops, removed
+
+
+def _invariants(ops: List[tuple]) -> Set[int]:
+    """Value ids constant across sweeps: coordinate gathers and anything
+    computed only from them (and folded scalars).  Field gathers read the
+    per-sweep velocity, so they -- and everything downstream -- vary."""
+    inv: Set[int] = set()
+    for op in ops:
+        tag = op[0]
+        if tag == "gc":
+            inv.add(op[-1])
+        elif tag in ("bin", "un", "sel"):
+            if all(_is_scalar(r) or r in inv for r in _reads(op)):
+                inv.add(op[-1])
+    return inv
+
+
+def _schedule(
+    ops: List[tuple], prod: Dict[int, tuple], extra_roots: Sequence[int] = ()
+) -> List[tuple]:
+    """Reorder one partition's compute ops depth-first from its scatter
+    roots (then ``extra_roots`` -- pinned values not reachable from the
+    partition's own scatters).  Scatters keep their original relative
+    order, so the deferred values buffer is filled in call order and the
+    elemental flavour preserves ``+=`` accumulation order.  Pure SSA
+    value definitions commute, so reordering cannot change bits."""
+    sched: List[tuple] = []
+    emitted: Set[int] = set()
+    opened: Set[int] = set()
+
+    def visit(root: int) -> None:
+        stack = [root]
+        while stack:
+            r = stack[-1]
+            if r in emitted or r not in prod:
+                stack.pop()
+                continue
+            op = prod[r]
+            if r in opened:
+                stack.pop()
+                if r not in emitted:
+                    emitted.add(r)
+                    sched.append(op)
+                continue
+            opened.add(r)
+            for q in reversed([x for x in _reads(op) if not _is_scalar(x)]):
+                if q not in emitted and q in prod:
+                    stack.append(q)
+
+    for op in ops:
+        if op[0] == "sc":
+            src = op[4]
+            if not _is_scalar(src):
+                visit(src)
+            sched.append(op)
+    for r in extra_roots:
+        visit(r)
+    return sched
+
+
+def _fuse(sched: List[tuple], exclude: Set[int]) -> Set[int]:
+    """Ids of single-use arithmetic ops to inline into their consumer.
+
+    Gathers stay statements (they need an ``out=`` target), as does any
+    value consumed more than once (inlining would recompute it), any
+    value read outside the partition (``exclude``), and any subtree
+    deeper than :data:`MAX_FUSE_DEPTH`.  ``sched`` is topologically
+    ordered, so fused depths are known when each op is visited.
+    """
+    uses: Dict[int, int] = {}
+    for op in sched:
+        for r in _reads(op):
+            if not _is_scalar(r):
+                uses[r] = uses.get(r, 0) + 1
+    fused: Set[int] = set()
+    fdepth: Dict[int, int] = {}
+    for op in sched:
+        if op[0] not in ("bin", "un", "sel"):
+            continue
+        out = op[-1]
+        depth = 1
+        for r in _reads(op):
+            if not _is_scalar(r) and r in fused:
+                depth = max(depth, 1 + fdepth[r])
+        if (
+            uses.get(out, 0) == 1
+            and out not in exclude
+            and depth <= MAX_FUSE_DEPTH
+        ):
+            fused.add(out)
+            fdepth[out] = depth
+    return fused
+
+
+@dataclasses.dataclass
+class _Stmt:
+    """One emitted statement: a non-fused root op plus its inlined tree."""
+
+    op: tuple
+    leaves: List[int]  # non-fused vector refs actually read (w/ dups)
+    tree: List[tuple]  # root + fused constituents (for cost accounting)
+
+
+def _collect(
+    op: tuple,
+    prod: Dict[int, tuple],
+    fused: Set[int],
+    leaves: List[int],
+    tree: List[tuple],
+) -> None:
+    tree.append(op)
+    for r in _reads(op):
+        if _is_scalar(r):
+            continue
+        if r in fused:
+            _collect(prod[r], prod, fused, leaves, tree)
+        else:
+            leaves.append(r)
+
+
+def _statements(
+    sched: List[tuple], prod: Dict[int, tuple], fused: Set[int]
+) -> List[_Stmt]:
+    stmts: List[_Stmt] = []
+    for op in sched:
+        if op[0] != "sc" and op[-1] in fused:
+            continue
+        leaves: List[int] = []
+        tree: List[tuple] = []
+        _collect(op, prod, fused, leaves, tree)
+        stmts.append(_Stmt(op=op, leaves=leaves, tree=tree))
+    return stmts
+
+
+def _assign_rows(
+    stmts: List[_Stmt], is_external: Callable[[int], bool]
+) -> Tuple[Dict[int, int], int]:
+    """Statement-level linear-scan slab allocation (LIFO free list).
+
+    Dying operands release their row *before* the output is placed, so
+    in-place ``out=`` aliasing happens naturally -- safe because every
+    emitted form either is an elementwise ufunc over direct operands or
+    (``where`` selects, fused sub-expressions) fully evaluates its
+    arguments into temporaries before the destination is written.
+    """
+    last: Dict[int, int] = {}
+    for j, st in enumerate(stmts):
+        for r in st.leaves:
+            if not is_external(r):
+                last[r] = j
+    row_of: Dict[int, int] = {}
+    free: List[int] = []
+    nrows = 0
+    for j, st in enumerate(stmts):
+        for r in sorted(set(st.leaves)):
+            if not is_external(r) and last.get(r) == j:
+                free.append(row_of[r])
+        if st.op[0] != "sc":
+            out = st.op[-1]
+            if not is_external(out):
+                if free:
+                    row_of[out] = free.pop()
+                else:
+                    row_of[out] = nrows
+                    nrows += 1
+    return row_of, nrows
+
+
+# ---------------------------------------------------------------------------
+# Source emission
+# ---------------------------------------------------------------------------
+
+
+def _lit(x) -> str:
+    """Exact float64 literal.  ``repr(float(x))`` is shortest-round-trip
+    (bit-exact on parse); non-finite values need the ``float('...')``
+    spelling to be valid source."""
+    f = float(x)
+    if math.isfinite(f):
+        return repr(f)
+    return f"float({str(f)!r})"
+
+
+def _expr(
+    r,
+    prod: Dict[int, tuple],
+    fused: Set[int],
+    name_of: Callable[[int], str],
+    scratch: Optional[List[int]] = None,
+) -> str:
+    """Render a ref as an expression, inlining fused producers.
+
+    With ``scratch`` (a one-element counter), fused binary/unary nodes
+    write into dedicated scratch rows via ``out=`` -- ufuncs return their
+    ``out`` array, so the calls still compose as expressions but stop
+    allocating a temporary per node.  Scratch rows are unique within one
+    statement (the counter resets per statement), so sibling subtrees can
+    never clobber each other before the parent reads them; values are
+    identical either way, so bit-identity is untouched.  Fused selects
+    stay ``where(...)`` (no ``out=`` support; it allocates regardless).
+    """
+    if _is_scalar(r):
+        return _lit(r)
+    if r in fused:
+        op = prod[r]
+        tag = op[0]
+        out = ""
+        if scratch is not None and tag in ("bin", "un"):
+            out = f", out=t{scratch[0]}"
+            scratch[0] += 1
+        if tag == "bin":
+            return (
+                f"{_UFUNC_NAMES[op[1]]}"
+                f"({_expr(op[2], prod, fused, name_of, scratch)}, "
+                f"{_expr(op[3], prod, fused, name_of, scratch)}{out})"
+            )
+        if tag == "un":
+            return (
+                f"{_UFUNC_NAMES[op[1]]}"
+                f"({_expr(op[2], prod, fused, name_of, scratch)}{out})"
+            )
+        # sel: pure selection, arguments evaluated before any write
+        return (
+            f"where(greater({_expr(op[1], prod, fused, name_of, scratch)}, "
+            f"{_lit(op[4])}), {_expr(op[2], prod, fused, name_of, scratch)}, "
+            f"{_expr(op[3], prod, fused, name_of, scratch)})"
+        )
+    return name_of(r)
+
+
+def _render_mesh(
+    st: _Stmt,
+    prod: Dict[int, tuple],
+    fused: Set[int],
+    name_of: Callable[[int], str],
+    scatter_dst: Callable[[int], str],
+    gather_src: Callable[[tuple], str],
+    vd: int,
+    scratch: Optional[List[int]] = None,
+) -> str:
+    """One mesh-wide statement (setup or body flavour)."""
+    op = st.op
+    tag = op[0]
+
+    def ex(r):
+        return _expr(r, prod, fused, name_of, scratch)
+
+    if tag == "bin":
+        return (
+            f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}, {ex(op[3])}, "
+            f"out={name_of(op[4])})"
+        )
+    if tag == "un":
+        return f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}, out={name_of(op[3])})"
+    if tag == "sel":
+        return (
+            f"copyto({name_of(op[5])}, where(greater({ex(op[1])}, "
+            f"{_lit(op[4])}), {ex(op[2])}, {ex(op[3])}))"
+        )
+    if tag in ("gc", "gf"):
+        return gather_src(op)
+    # sc
+    dst = scatter_dst(op[1])
+    src = op[4]
+    if _is_scalar(src):
+        return f"{dst}[...] = {_lit(src)}"
+    return f"copyto({dst}, {ex(src)}.reshape(-1, {vd}))"
+
+
+def _emit_block(lines: List[str], stmts: List[str], indent: str,
+                timed: bool) -> None:
+    if not stmts:
+        lines.append(f"{indent}pass")
+        return
+    if not timed:
+        for s in stmts:
+            lines.append(f"{indent}{s}")
+        return
+    # timer binding must not collide with scratch rows t0, t1, ...
+    for i, s in enumerate(stmts):
+        lines.append(f"{indent}_t = clock()")
+        lines.append(f"{indent}{s}")
+        lines.append(f"{indent}rec({i}, clock() - _t, n)")
+
+
+def _op_cost(op: tuple) -> Tuple[float, float, float]:
+    """Per-lane (bytes read, bytes written, flops) of one SSA op --
+    mirrors :func:`repro.obs.profiler.op_costs_from_program`."""
+    tag = op[0]
+    if tag == "bin":
+        nvec = sum(1 for r in (op[2], op[3]) if not _is_scalar(r))
+        return (nvec * 8.0, 8.0, 1.0)
+    if tag == "un":
+        nvec = 0 if _is_scalar(op[2]) else 1
+        return (nvec * 8.0, 8.0, 1.0)
+    if tag == "sel":
+        nvec = sum(1 for r in (op[1], op[2], op[3]) if not _is_scalar(r))
+        return (nvec * 8.0 + 1.0, 9.0, 1.0)
+    if tag in ("gc", "gf"):
+        return (16.0, 8.0, 0.0)
+    # sc
+    nvec = 0 if _is_scalar(op[4]) else 1
+    return (nvec * 8.0, 8.0, 0.0)
+
+
+_ROOT_KINDS = {"bin": "bin", "un": "un", "sel": "sel",
+               "gc": "gather", "gf": "gather", "sc": "scatter"}
+
+
+def _root_label(op: tuple) -> str:
+    tag = op[0]
+    if tag in ("bin", "un"):
+        return _UFUNC_NAMES[op[1]]
+    if tag == "sel":
+        return "select"
+    if tag == "gc":
+        return f"coord[{op[1]},{op[2]}]"
+    if tag == "gf":
+        return f"{op[1]}[{op[2]},{op[3]}]"
+    return f"rhs[{op[2]},{op[3]}]"
+
+
+def _stmt_costs(stmts: List[_Stmt]) -> Tuple[tuple, ...]:
+    """Per-statement ``(kind, label, rb, wb, fl)`` profiler cost slots.
+
+    A fused statement reports the *summed* bytes/FLOPs of its constituent
+    ops (the ISSUE's attribution contract), labelled ``<root>+<k>`` for
+    ``k`` inlined ops.
+    """
+    costs: List[tuple] = []
+    for st in stmts:
+        rb = wb = fl = 0.0
+        for op in st.tree:
+            orb, owb, ofl = _op_cost(op)
+            rb += orb
+            wb += owb
+            fl += ofl
+        label = _root_label(st.op)
+        if len(st.tree) > 1:
+            label += f"+{len(st.tree) - 1}"
+        costs.append((_ROOT_KINDS[st.op[0]], label, rb, wb, fl))
+    return tuple(costs)
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CodegenProgram:
+    """A generated, picklable mesh-wide kernel module.
+
+    ``source`` defines three functions: ``setup(C, I, P, T, SV)`` (run
+    once at bind time: coordinate gathers, loop-invariant arithmetic and
+    invariant/constant scatters, at full lane width), ``factory(VC, GI,
+    P, SV, B)`` (returns a zero-argument per-chunk closure over prebound
+    chunk views) and ``factory_timed(...)`` (the profiled twin, one clock
+    read per statement).  Re-compilation in a pool worker is exact: the
+    emission is deterministic, so equal configurations produce equal
+    source strings and hit the module-level code cache.
+    """
+
+    variant: str
+    params_key: Tuple
+    vector_dim: int
+    nnode_per_element: int
+    source: str
+    scatter_calls: Tuple[Tuple[int, int], ...]
+    setup_calls: Tuple[int, ...]
+    body_calls: Tuple[int, ...]
+    gf_slots: Tuple[int, ...]
+    vc_comps: Tuple[int, ...]
+    npinned: int
+    nsetup_tmp: int
+    nslab: int
+    stmt_costs: Tuple[tuple, ...]
+    report: TapeReport
+
+
+@dataclasses.dataclass(frozen=True)
+class ElementalCodegenProgram:
+    """Generated worker-side module: ``elemental(X, U, R, B)`` accumulates
+    ``(n, nnode_per_element, 3)`` contributions exactly like
+    :class:`~repro.core.tape.ElementalTape` (no hoisting -- the setup
+    split would reorder the ``+=`` accumulation), plus the profiled twin
+    ``elemental_timed``."""
+
+    variant: str
+    params_key: Tuple
+    nnode_per_element: int
+    source: str
+    nslab: int
+    stmt_costs: Tuple[tuple, ...]
+    report: TapeReport
+
+
+def _record_ssa(variant_name: str, kernel_params: Dict[str, float],
+                nnode_per_element: int):
+    variant = get_variant(variant_name)
+    ctx = KernelContext(
+        connectivity=np.zeros((1, nnode_per_element), dtype=np.int64),
+        coords=np.zeros((1, 3)),
+        fields={"velocity": np.zeros((1, 3))},
+        rhs=np.zeros((1, 3)),
+        params=dict(kernel_params),
+        nnode_per_element=nnode_per_element,
+    )
+    recorder = RecordingBackend(ctx)
+    variant.kernel(recorder, ctx)
+    return variant, recorder
+
+
+def _make_report(variant: str, recorder, ops: List[tuple], dce_removed: int,
+                 cse_removed: int, hoisted: int, fused: int, nslab: int,
+                 npinned: int) -> TapeReport:
+    tags = [op[0] for op in ops]
+    return TapeReport(
+        variant=variant,
+        ops_recorded=len(recorder.ops),
+        ops_live=len(ops),
+        dce_removed=dce_removed,
+        folded_scalars=recorder.folded_scalars,
+        gather_reuses=recorder.gather_reuses,
+        scatter_calls=len(recorder.scatter_calls),
+        buffers_live=nslab,
+        binary_ops=tags.count("bin"),
+        unary_ops=tags.count("un"),
+        select_ops=tags.count("sel"),
+        gather_ops=tags.count("gc") + tags.count("gf"),
+        cse_removed=cse_removed,
+        hoisted_ops=hoisted,
+        fused_ops=fused,
+        pinned_buffers=npinned,
+    )
+
+
+def _maybe_dump(filename: str, source: str) -> None:
+    outdir = os.environ.get("REPRO_CODEGEN_DUMP")
+    if not outdir:
+        return
+    os.makedirs(outdir, exist_ok=True)
+    with open(os.path.join(outdir, filename), "w", encoding="utf-8") as fh:
+        fh.write(source)
+    get_registry().counter("codegen.dumps").inc()
+
+
+def generate_program(
+    variant_name: str,
+    vector_dim: int,
+    kernel_params: Optional[Dict[str, float]] = None,
+    nnode_per_element: int = 4,
+) -> CodegenProgram:
+    """Lower one variant to a mesh-wide generated source module."""
+    kernel_params = dict(kernel_params or {})
+    vd = int(vector_dim)
+    with get_tracer().span(
+        "codegen.generate", variant=variant_name.upper(), vector_dim=vd
+    ):
+        variant, recorder = _record_ssa(
+            variant_name, kernel_params, nnode_per_element
+        )
+        for op in recorder.ops:
+            if op[0] == "gf" and op[1] != "velocity":
+                raise ValueError(
+                    f"generated kernel gathers unknown field {op[1]!r}; "
+                    "the mesh-wide executor only binds 'velocity'"
+                )
+        ops = _annotate(recorder.ops)
+        live, dce_removed = _dce(ops)
+        ops, cse_removed = _cse(live)
+        inv = _invariants(ops)
+
+        setup_ops: List[tuple] = []
+        body_ops: List[tuple] = []
+        setup_calls: List[int] = []
+        body_calls: List[int] = []
+        for op in ops:
+            if op[0] == "sc":
+                src = op[4]
+                if _is_scalar(src) or src in inv:
+                    setup_ops.append(op)
+                    setup_calls.append(op[1])
+                else:
+                    body_ops.append(op)
+                    body_calls.append(op[1])
+            elif op[-1] in inv:
+                setup_ops.append(op)
+            else:
+                body_ops.append(op)
+
+        prod: Dict[int, tuple] = {
+            op[-1]: op for op in ops if op[0] != "sc"
+        }
+        # per-partition producer maps: the DFS scheduler must stop at the
+        # partition boundary (a body op reading an invariant value treats
+        # it as an external pinned input, not as something to re-emit).
+        setup_prod = {op[-1]: op for op in setup_ops if op[0] != "sc"}
+        body_prod = {op[-1]: op for op in body_ops if op[0] != "sc"}
+        pinned = sorted({
+            r
+            for op in body_ops
+            for r in _reads(op)
+            if not _is_scalar(r) and r in inv
+        })
+        pinned_set = set(pinned)
+        pin_index = {r: k for k, r in enumerate(pinned)}
+
+        setup_sched = _schedule(setup_ops, setup_prod, extra_roots=pinned)
+        body_sched = _schedule(body_ops, body_prod)
+        setup_fused = _fuse(setup_sched, exclude=pinned_set)
+        body_fused = _fuse(body_sched, exclude=set())
+        setup_stmts = _statements(setup_sched, prod, setup_fused)
+        body_stmts = _statements(body_sched, prod, body_fused)
+
+        setup_rows, nsetup_tmp = _assign_rows(
+            setup_stmts, lambda r: r in pinned_set
+        )
+        body_rows, nslab = _assign_rows(
+            body_stmts, lambda r: r in pinned_set
+        )
+
+        def setup_name(r: int) -> str:
+            if r in pinned_set:
+                return f"P[{pin_index[r]}]"
+            return f"T[{setup_rows[r]}]"
+
+        def body_name(r: int) -> str:
+            if r in pinned_set:
+                return f"p{pin_index[r]}"
+            return f"b{body_rows[r]}"
+
+        spos = {call: j for j, call in enumerate(setup_calls)}
+        bpos = {call: j for j, call in enumerate(body_calls)}
+        gf_slots = sorted({
+            op[2] for op in body_ops if op[0] == "gf"
+        })
+        gi_index = {slot: k for k, slot in enumerate(gf_slots)}
+        vc_comps = sorted({
+            op[3] for op in body_ops if op[0] == "gf"
+        })
+
+        setup_lines = [
+            _render_mesh(
+                st, prod, setup_fused, setup_name,
+                lambda c: f"SV[{spos[c]}]",
+                lambda op: (
+                    f"take(C[{op[2]}], I[{op[1]}], out={setup_name(op[3])})"
+                ),
+                vd,
+            )
+            for st in setup_stmts
+        ]
+        # Body statements route fused bin/un nodes into scratch rows
+        # (``out=t{k}``): no per-node allocation on the hot path.  The
+        # counter resets per statement, so scratch rows are shared across
+        # statements but unique within one (no sibling clobbering).
+        body_lines: List[str] = []
+        nscratch = 0
+        for st in body_stmts:
+            ctr = [0]
+            body_lines.append(_render_mesh(
+                st, prod, body_fused, body_name,
+                lambda c: f"s{bpos[c]}",
+                lambda op: (
+                    f"take(vc{op[3]}, gi{gi_index[op[2]]}, "
+                    f"out={body_name(op[4])})"
+                ),
+                vd,
+                scratch=ctr,
+            ))
+            nscratch = max(nscratch, ctr[0])
+        nrows = nslab + nscratch
+
+        prologue = (
+            [f"vc{c} = VC[{c}]" for c in vc_comps]
+            + [f"gi{k} = GI[{k}]" for k in range(len(gf_slots))]
+            + [f"p{k} = P[{k}]" for k in range(len(pinned))]
+            + [f"s{j} = SV[{j}]" for j in range(len(body_calls))]
+            + [f"b{r} = B[{r}]" for r in range(nslab)]
+            + [f"t{k} = B[{nslab + k}]" for k in range(nscratch)]
+        )
+
+        lines: List[str] = [
+            f"# generated by repro.core.codegen -- do not edit",
+            f"# variant={variant.name} vector_dim={vd} "
+            f"stmts={len(body_stmts)} slab_rows={nrows} "
+            f"(scratch={nscratch}) pinned={len(pinned)} fused="
+            f"{len(setup_fused) + len(body_fused)}",
+            "",
+            "",
+            "def setup(C, I, P, T, SV):",
+        ]
+        _emit_block(lines, setup_lines, "    ", timed=False)
+        lines += ["", "", "def factory(VC, GI, P, SV, B):"]
+        for p in prologue:
+            lines.append(f"    {p}")
+        lines.append("")
+        lines.append("    def kernel():")
+        _emit_block(lines, body_lines, "        ", timed=False)
+        lines.append("")
+        lines.append("    return kernel")
+        lines += ["", "", "def factory_timed(VC, GI, P, SV, B, clock, rec, n):"]
+        for p in prologue:
+            lines.append(f"    {p}")
+        lines.append("")
+        lines.append("    def kernel():")
+        _emit_block(lines, body_lines, "        ", timed=True)
+        lines.append("")
+        lines.append("    return kernel")
+        source = "\n".join(lines) + "\n"
+
+        report = _make_report(
+            variant.name, recorder, ops, dce_removed, cse_removed,
+            hoisted=len(setup_sched),
+            fused=len(setup_fused) + len(body_fused),
+            nslab=nrows, npinned=len(pinned),
+        )
+        program = CodegenProgram(
+            variant=variant.name,
+            params_key=tuple(sorted(kernel_params.items())),
+            vector_dim=vd,
+            nnode_per_element=nnode_per_element,
+            source=source,
+            scatter_calls=tuple(recorder.scatter_calls),
+            setup_calls=tuple(setup_calls),
+            body_calls=tuple(body_calls),
+            gf_slots=tuple(gf_slots),
+            vc_comps=tuple(vc_comps),
+            npinned=len(pinned),
+            nsetup_tmp=nsetup_tmp,
+            nslab=nrows,
+            stmt_costs=_stmt_costs(body_stmts),
+            report=report,
+        )
+    registry = get_registry()
+    registry.counter("codegen.generates").inc()
+    registry.gauge(f"codegen.slab_rows.{variant.name}").set(nrows)
+    _maybe_dump(f"{variant.name}_vd{vd}.py", source)
+    return program
+
+
+def generate_elemental_program(
+    variant_name: str,
+    kernel_params: Optional[Dict[str, float]] = None,
+    nnode_per_element: int = 4,
+) -> ElementalCodegenProgram:
+    """Lower one variant to the worker-side elemental source module.
+
+    No hoisting: the elemental executor accumulates scatters with ``+=``
+    in call order, and a setup/body split would reorder that sum.
+    """
+    kernel_params = dict(kernel_params or {})
+    with get_tracer().span(
+        "codegen.generate_elemental", variant=variant_name.upper()
+    ):
+        variant, recorder = _record_ssa(
+            variant_name, kernel_params, nnode_per_element
+        )
+        ops = _annotate(recorder.ops)
+        live, dce_removed = _dce(ops)
+        ops, cse_removed = _cse(live)
+        prod: Dict[int, tuple] = {
+            op[-1]: op for op in ops if op[0] != "sc"
+        }
+        sched = _schedule(ops, prod)
+        fused = _fuse(sched, exclude=set())
+        stmts = _statements(sched, prod, fused)
+        rows, nslab = _assign_rows(stmts, lambda r: False)
+
+        def name(r: int) -> str:
+            return f"b{rows[r]}"
+
+        def render(st: _Stmt, ctr: List[int]) -> str:
+            op = st.op
+            tag = op[0]
+
+            def ex(r):
+                return _expr(r, prod, fused, name, ctr)
+
+            if tag == "gc":
+                return f"copyto({name(op[3])}, x{op[1]}{op[2]})"
+            if tag == "gf":
+                return f"copyto({name(op[4])}, u{op[2]}{op[3]})"
+            if tag == "sc":
+                rname = f"r{op[2]}{op[3]}"
+                return f"add({rname}, {ex(op[4])}, out={rname})"
+            return _render_mesh(
+                st, prod, fused, name, lambda c: "", lambda o: "", 0,
+                scratch=ctr,
+            )
+
+        stmt_lines: List[str] = []
+        nscratch = 0
+        for st in stmts:
+            ctr = [0]
+            stmt_lines.append(render(st, ctr))
+            nscratch = max(nscratch, ctr[0])
+        nrows = nslab + nscratch
+        x_keys = sorted({
+            (op[1], op[2]) for op in ops if op[0] == "gc"
+        })
+        u_keys = sorted({
+            (op[2], op[3]) for op in ops if op[0] == "gf"
+        })
+        r_keys = sorted({
+            (op[2], op[3]) for op in ops if op[0] == "sc"
+        })
+        prologue = (
+            [f"x{s}{c} = X[:, {s}, {c}]" for s, c in x_keys]
+            + [f"u{s}{c} = U[:, {s}, {c}]" for s, c in u_keys]
+            + [f"r{s}{c} = R[:, {s}, {c}]" for s, c in r_keys]
+            + [f"b{r} = B[{r}]" for r in range(nslab)]
+            + [f"t{k} = B[{nslab + k}]" for k in range(nscratch)]
+        )
+        lines: List[str] = [
+            f"# generated by repro.core.codegen -- do not edit",
+            f"# variant={variant.name} elemental "
+            f"stmts={len(stmts)} slab_rows={nrows} fused={len(fused)}",
+            "",
+            "",
+            "def elemental(X, U, R, B):",
+        ]
+        for p in prologue:
+            lines.append(f"    {p}")
+        _emit_block(lines, stmt_lines, "    ", timed=False)
+        lines += ["", "", "def elemental_timed(X, U, R, B, clock, rec, n):"]
+        for p in prologue:
+            lines.append(f"    {p}")
+        _emit_block(lines, stmt_lines, "    ", timed=True)
+        source = "\n".join(lines) + "\n"
+
+        report = _make_report(
+            variant.name, recorder, ops, dce_removed, cse_removed,
+            hoisted=0, fused=len(fused), nslab=nrows, npinned=0,
+        )
+        program = ElementalCodegenProgram(
+            variant=variant.name,
+            params_key=tuple(sorted(kernel_params.items())),
+            nnode_per_element=nnode_per_element,
+            source=source,
+            nslab=nrows,
+            stmt_costs=_stmt_costs(stmts),
+            report=report,
+        )
+    get_registry().counter("codegen.generates").inc()
+    _maybe_dump(f"{variant.name}_elemental.py", source)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# exec-compilation (module-level source cache)
+# ---------------------------------------------------------------------------
+
+
+def _load(source: str, filename: str) -> Dict[str, object]:
+    """Exec a generated module into a fresh namespace.
+
+    The compiled code object is cached on the exact source string, so a
+    plan-cache hit (or a worker re-shipping the same program) never pays
+    ``compile`` twice in one process.
+    """
+    registry = get_registry()
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[source] = code
+        registry.counter("codegen.source_compiles").inc()
+    else:
+        registry.counter("codegen.source_reuses").inc()
+    ns = dict(_NAMESPACE)
+    exec(code, ns)
+    return ns
+
+
+# ---------------------------------------------------------------------------
+# Mesh-wide executor
+# ---------------------------------------------------------------------------
+
+
+class GeneratedKernel:
+    """Executable generated module bound to one ``(plan, packing)`` pair.
+
+    Mirrors :class:`~repro.core.tape.CompiledTape`'s binding (same gather
+    index layout, same shared plan scatter pattern under the same key,
+    same group-major deferred values flush) but owns its values/velocity
+    buffers, so a coexisting compiled tape of the same configuration is
+    never mutated.  ``setup`` runs once here at full lane width; a sweep
+    then runs one prebound closure per chunk plus the serial flush.
+    """
+
+    def __init__(
+        self,
+        program: CodegenProgram,
+        plan,
+        packing,
+        perm_key=None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        self.program = program
+        self.plan = plan
+        self.packing = packing
+        self.tracer = tracer
+        self.profiler = NULL_PROFILER
+        mesh = plan.mesh
+        self.nnode = int(mesh.nnode)
+        self.ncomp = 3
+        groups = packing.groups()
+        self.ngroups = len(groups)
+        self.vector_dim = int(packing.vector_dim)
+        if self.vector_dim != program.vector_dim:
+            raise ValueError(
+                f"program generated for vector_dim={program.vector_dim}, "
+                f"packing has {self.vector_dim}"
+            )
+        nlane = self.ngroups * self.vector_dim
+        self.nlane = nlane
+        nnpe = program.nnode_per_element
+
+        conn3 = np.stack([g.connectivity for g in groups])  # (G, vd, nnpe)
+        conn_all = conn3.reshape(nlane, nnpe)
+        self._idx = [
+            np.ascontiguousarray(conn_all[:, s], dtype=np.int64)
+            for s in range(nnpe)
+        ]
+        self._ccols = [
+            np.ascontiguousarray(mesh.coords[:, c]) for c in range(3)
+        ]
+        self._vcols = np.empty((3, self.nnode))
+
+        # -- shared scatter index pattern (same key/shape as the tape) ---
+        ncalls = len(program.scatter_calls)
+        self._ncalls = ncalls
+        trash = self.nnode * self.ncomp
+        signature = tuple(
+            (g, slot, comp)
+            for g in range(self.ngroups)
+            for (slot, comp) in program.scatter_calls
+        )
+        key = (program.variant, self.vector_dim, perm_key)
+        pattern = plan.scatter_pattern(key)
+        registry = get_registry()
+        if pattern is None:
+            from ..fem.plan import seed_flush_order
+
+            active3 = np.stack([g.active for g in groups])  # (G, vd)
+            indices = np.empty(
+                (self.ngroups, ncalls, self.vector_dim), dtype=np.int64
+            )
+            for c, (slot, comp) in enumerate(program.scatter_calls):
+                icol = conn3[:, :, slot] * self.ncomp + comp
+                np.copyto(indices[:, c, :], np.where(active3, icol, trash))
+            order = None
+            seed_ids = mesh.seed_element_ids
+            if seed_ids is not None:
+                lane_seed = np.concatenate(
+                    [seed_ids[g.element_ids] for g in groups]
+                )
+                order = seed_flush_order(
+                    lane_seed, active3.reshape(-1), ncalls, self.vector_dim
+                )
+            pattern = plan.store_scatter_pattern(
+                key, indices.reshape(-1), signature, order=order
+            )
+            registry.counter("scatter.pattern_builds").inc()
+        else:
+            if pattern.signature != signature:
+                raise RuntimeError(
+                    "scatter pattern mismatch: cached plan pattern does "
+                    "not match the generated kernel's call order"
+                )
+            registry.counter("scatter.pattern_reuses").inc()
+        self._pattern = pattern
+
+        # -- own deferred values buffer + pinned invariants --------------
+        self._values = np.empty((self.ngroups, ncalls, self.vector_dim))
+        self._values_flat = self._values.reshape(-1)
+        self._pinned = np.empty((max(program.npinned, 1), nlane))
+
+        ns = _load(
+            program.source,
+            f"<codegen:{program.variant}:vd{self.vector_dim}>",
+        )
+        self._factory = ns["factory"]
+        self._factory_timed = ns["factory_timed"]
+
+        # run the hoisted setup once: coordinate gathers, loop-invariant
+        # arithmetic and constant/invariant scatter rows, full lane width.
+        # The transient rows are freed immediately after.
+        T = np.empty((max(program.nsetup_tmp, 1), nlane))
+        SV = [self._values[:, c, :] for c in program.setup_calls]
+        ns["setup"](self._ccols, self._idx, self._pinned, T, SV)
+        del T
+
+        #: (chunk_groups, nslabs) -> list-per-slab of chunk closures
+        self._chunk_cache: Dict[Tuple[int, int], list] = {}
+
+    @property
+    def report(self) -> TapeReport:
+        return self.program.report
+
+    # -- chunk closures ---------------------------------------------------
+    def _resolve_cg(self, chunk_groups: Optional[int]) -> int:
+        if chunk_groups is None:
+            chunk_groups = max(1, DEFAULT_CHUNK_LANES // self.vector_dim)
+        return max(1, min(int(chunk_groups), self.ngroups))
+
+    def _build_closures(
+        self, cg: int, nslabs: int, profile=None
+    ) -> List[list]:
+        """Bind one closure per chunk; chunk ``i`` runs on slab
+        ``i % nslabs``, and each slab's chunks run sequentially in one
+        pool task, so concurrent slabs never share scratch rows."""
+        vd = self.vector_dim
+        program = self.program
+        bounds = list(range(0, self.ngroups, cg)) + [self.ngroups]
+        chunks = list(zip(bounds[:-1], bounds[1:]))
+        nslabs = max(1, min(nslabs, len(chunks)))
+        slabs = np.empty((nslabs, max(program.nslab, 1), cg * vd))
+        per_slab: List[list] = [[] for _ in range(nslabs)]
+        factory = self._factory if profile is None else self._factory_timed
+        for i, (g0, g1) in enumerate(chunks):
+            s = i % nslabs
+            lo = g0 * vd
+            n = (g1 - g0) * vd
+            GI = [self._idx[slot][lo:lo + n] for slot in program.gf_slots]
+            P = [self._pinned[k, lo:lo + n] for k in range(program.npinned)]
+            SV = [self._values[g0:g1, c, :] for c in program.body_calls]
+            B = [slabs[s, r, :n] for r in range(program.nslab)]
+            if profile is None:
+                kern = factory(self._vcols, GI, P, SV, B)
+            else:
+                kern = factory(
+                    self._vcols, GI, P, SV, B,
+                    time.perf_counter, profile.record, n,
+                )
+            per_slab[s].append(kern)
+        return per_slab
+
+    def _closures(self, cg: int, nslabs: int) -> List[list]:
+        key = (cg, nslabs)
+        per_slab = self._chunk_cache.get(key)
+        if per_slab is None:
+            per_slab = self._build_closures(cg, nslabs)
+            self._chunk_cache[key] = per_slab
+        return per_slab
+
+    # -- execution --------------------------------------------------------
+    def _check_velocity(self, velocity: np.ndarray) -> np.ndarray:
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if velocity.shape != (self.nnode, 3):
+            raise ValueError(
+                f"velocity must be ({self.nnode}, 3), got {velocity.shape}"
+            )
+        return velocity
+
+    def _flush(self, rhs: np.ndarray, profile=None) -> None:
+        from ..fem.plan import flush_pattern
+
+        with self.tracer.span("scatter.flush", variant=self.program.variant):
+            t0 = time.perf_counter()
+            flush_pattern(
+                self._pattern, self._values_flat, rhs, self.nnode, self.ncomp
+            )
+            if profile is not None:
+                moved = 2.0 * self._values_flat.nbytes + rhs.nbytes
+                profile.record_flush(time.perf_counter() - t0, moved)
+
+    @staticmethod
+    def _run_slab(kerns: list) -> None:
+        for kern in kerns:
+            kern()
+
+    def execute(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assemble the momentum RHS, accumulating into ``rhs`` in place."""
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.nnode, self.ncomp))
+        cg = self._resolve_cg(chunk_groups)
+        with self.tracer.span(
+            "codegen.execute",
+            variant=self.program.variant,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+            chunk_groups=cg,
+        ):
+            np.copyto(self._vcols, velocity.T)
+            if self.profiler.enabled:
+                profile = self.profiler.for_codegen(
+                    self.program, self.vector_dim, "serial"
+                )
+                per_slab = self._build_closures(cg, 1, profile=profile)
+                self._run_slab(per_slab[0])
+                self._flush(rhs, profile)
+                profile.finish_execution()
+                nchunks = len(per_slab[0])
+            else:
+                per_slab = self._closures(cg, 1)
+                self._run_slab(per_slab[0])
+                self._flush(rhs)
+                nchunks = len(per_slab[0])
+        registry = get_registry()
+        registry.counter("codegen.executions").inc()
+        registry.counter("codegen.lanes_executed").inc(self.nlane)
+        registry.counter("codegen.chunks_executed").inc(nchunks)
+        return rhs
+
+    def execute_chunked(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assemble on a thread pool: one task per slab, chunks of one
+        slab running sequentially.  Scatter values land in disjoint
+        chunk slices and the flush runs serially afterwards, so the
+        result is bitwise identical to :meth:`execute` for any thread
+        count or schedule (numpy ufuncs drop the GIL, so slabs overlap).
+        """
+        from ..parallel import threads as _threads
+
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.nnode, self.ncomp))
+        nthreads = _threads.resolve_num_threads(num_threads)
+        cg = self._resolve_cg(chunk_groups)
+        nchunks = (self.ngroups + cg - 1) // cg
+        threaded = nthreads > 1 and nchunks > 1
+        nslabs = min(nthreads, nchunks) if threaded else 1
+        with self.tracer.span(
+            "codegen.execute_chunked",
+            variant=self.program.variant,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+            chunks=nchunks,
+            threads=nthreads,
+            chunk_groups=cg,
+        ):
+            np.copyto(self._vcols, velocity.T)
+            profile = None
+            if self.profiler.enabled:
+                profile = self.profiler.for_codegen(
+                    self.program, self.vector_dim, "threads"
+                )
+                per_slab = self._build_closures(cg, nslabs, profile=profile)
+            else:
+                per_slab = self._closures(cg, nslabs)
+            if len(per_slab) == 1:
+                self._run_slab(per_slab[0])
+            else:
+                pool = _threads.get_thread_pool(nthreads)
+                for future in [
+                    pool.submit(self._run_slab, kerns)
+                    for kerns in per_slab
+                ]:
+                    future.result()
+            self._flush(rhs, profile)
+            if profile is not None:
+                profile.finish_execution()
+        registry = get_registry()
+        registry.counter("codegen.executions").inc()
+        registry.counter("codegen.lanes_executed").inc(self.nlane)
+        registry.counter("codegen.chunks_executed").inc(nchunks)
+        if len(per_slab) > 1:
+            registry.counter("locality.threaded_executions").inc()
+        return rhs
+
+
+# ---------------------------------------------------------------------------
+# Elemental executor (multiprocess workers)
+# ---------------------------------------------------------------------------
+
+
+class ElementalGeneratedKernel:
+    """Run a generated elemental module against packed per-element arrays.
+
+    Drop-in for :class:`~repro.core.tape.ElementalTape`: same
+    ``(n, nnode_per_element, 3)`` output, same ``+=`` accumulation order,
+    same lazy slab rebinding across chunk sizes, same ``profile``
+    attribute contract.
+    """
+
+    def __init__(self, program: ElementalCodegenProgram) -> None:
+        self.program = program
+        #: set to a :class:`repro.obs.profiler.TapeProfile` to time stmts
+        self.profile = None
+        self._n = -1
+        self._rows: Optional[List[np.ndarray]] = None
+        ns = _load(
+            program.source, f"<codegen:{program.variant}:elemental>"
+        )
+        self._fn = ns["elemental"]
+        self._fn_timed = ns["elemental_timed"]
+
+    def _bind(self, n: int) -> None:
+        slab = np.empty((max(self.program.nslab, 1), n))
+        self._rows = [slab[r] for r in range(self.program.nslab)]
+        self._n = n
+
+    def __call__(self, xel: np.ndarray, uel: np.ndarray) -> np.ndarray:
+        n = xel.shape[0]
+        if n != self._n:
+            self._bind(n)
+        nnpe = self.program.nnode_per_element
+        out_rhs = np.zeros((n, nnpe, 3))
+        if self.profile is not None:
+            self._fn_timed(
+                xel, uel, out_rhs, self._rows,
+                time.perf_counter, self.profile.record, n,
+            )
+            self.profile.finish_execution()
+        else:
+            self._fn(xel, uel, out_rhs, self._rows)
+        return out_rhs
+
+
+# ---------------------------------------------------------------------------
+# Plan-level cache
+# ---------------------------------------------------------------------------
+
+
+def generated_kernel(
+    plan,
+    variant_name: str,
+    vector_dim: int,
+    permutation: Optional[np.ndarray] = None,
+    kernel_params: Optional[Dict[str, float]] = None,
+    tracer=None,
+    profiler=None,
+) -> GeneratedKernel:
+    """The plan-cached :class:`GeneratedKernel` for one configuration.
+
+    Cached next to the compiled tapes under the same
+    :func:`~repro.core.tape.tape_cache_key`; mesh reorientation
+    (``fix_orientation`` / any ``mesh._version`` bump) invalidates the
+    plan and with it every generated kernel, forcing regeneration.
+    """
+    kernel_params = dict(kernel_params or {})
+    key = tape_cache_key(variant_name, vector_dim, permutation, kernel_params)
+    kern = plan.cached_codegen(key)
+    registry = get_registry()
+    if kern is None:
+        with get_tracer().span(
+            "codegen.compile", variant=key[0], vector_dim=int(vector_dim)
+        ):
+            program = generate_program(key[0], int(vector_dim), kernel_params)
+            packing = plan.packing(int(vector_dim), permutation=permutation)
+            kern = GeneratedKernel(program, plan, packing, perm_key=key[2])
+        plan.store_codegen(key, kern)
+        registry.counter("codegen.compiles").inc()
+    else:
+        registry.counter("codegen.cache_hits").inc()
+    if tracer is not None:
+        kern.tracer = tracer
+    # Always (re)set the profiler -- generated kernels are plan-cached and
+    # shared across assemblers, like compiled tapes.
+    kern.profiler = profiler if profiler is not None else NULL_PROFILER
+    return kern

@@ -278,6 +278,16 @@ class TapeReport:
     unary_ops: int = 0
     select_ops: int = 0
     gather_ops: int = 0
+    # codegen-only statistics (zero for replayed tapes): common
+    # subexpressions merged, ops hoisted into the one-time setup, ops
+    # inlined into fused expressions, and full-width pinned invariant
+    # buffers.  ``buffers_live`` for a generated kernel counts the *slab*
+    # rows surviving fusion -- directly comparable to (and smaller than)
+    # the replay arena of the same variant.
+    cse_removed: int = 0
+    hoisted_ops: int = 0
+    fused_ops: int = 0
+    pinned_buffers: int = 0
 
     def arena_bytes(self, nlane: int) -> int:
         """Arena footprint for ``nlane`` stacked lanes (float64)."""
@@ -320,6 +330,16 @@ class TapeReport:
                 f"scatter calls            : {self.scatter_calls}",
                 f"buffers live (arena)     : {self.buffers_live}",
             ]
+            + (
+                [
+                    f"cse removed              : {self.cse_removed}",
+                    f"ops hoisted to setup     : {self.hoisted_ops}",
+                    f"ops fused                : {self.fused_ops}",
+                    f"pinned invariant buffers : {self.pinned_buffers}",
+                ]
+                if (self.cse_removed or self.hoisted_ops or self.fused_ops)
+                else []
+            )
         )
 
 

@@ -117,7 +117,11 @@ class UnifiedAssembler:
         :class:`~repro.core.dsl.NumpyBackend` path; ``"compiled"`` replays
         the plan-cached kernel tape (:mod:`repro.core.tape`) -- same op
         order, same dtype, bit-identical RHS, several times faster.
-        Compiled mode requires ``use_plan=True``.
+        ``"codegen"`` executes generated fused source
+        (:mod:`repro.core.codegen`): the tape lowered to exec-compiled
+        Python with CSE, invariant hoisting and expression fusion --
+        still bit-identical, with the per-op dispatch overhead gone.
+        Compiled and codegen modes require ``use_plan=True``.
     tracer:
         Optional :class:`repro.obs.Tracer`; assemblies and kernel traces
         are recorded as ``assemble`` / ``kernel_trace`` spans.  Defaults to
@@ -133,10 +137,11 @@ class UnifiedAssembler:
         equivalence tests rely on this switch).
     executor:
         ``"serial"`` (default) replays the whole lane axis in one sweep;
-        ``"threads"`` (compiled mode only) splits element groups into
-        cache-sized chunks executed on a shared
+        ``"threads"`` (compiled/codegen modes only) splits element groups
+        into cache-sized chunks executed on a shared
         :class:`~concurrent.futures.ThreadPoolExecutor` with per-thread
-        arena slabs (:meth:`~repro.core.tape.CompiledTape.execute_chunked`).
+        arena slabs (:meth:`~repro.core.tape.CompiledTape.execute_chunked`
+        / :meth:`~repro.core.codegen.GeneratedKernel.execute_chunked`).
         The threaded reduction order is fixed, so results stay bitwise
         identical to the serial executor.
     num_threads:
@@ -187,26 +192,29 @@ class UnifiedAssembler:
             self.profiler = TapeProfiler()
         if self.profiler is not None:
             self.profile = True
-        if self.mode not in ("interpreted", "compiled"):
+        if self.mode not in ("interpreted", "compiled", "codegen"):
             raise ValueError(
                 f"unknown assembly mode {self.mode!r}; "
-                "expected 'interpreted' or 'compiled'"
+                "expected 'interpreted', 'compiled' or 'codegen'"
             )
-        if self.mode == "compiled" and not self.use_plan:
+        if self.mode in ("compiled", "codegen") and not self.use_plan:
             raise ValueError(
-                "mode='compiled' requires use_plan=True: the kernel tape "
-                "is cached on the mesh's AssemblyPlan"
+                f"mode={self.mode!r} requires use_plan=True: the kernel "
+                "tape / generated kernel is cached on the mesh's "
+                "AssemblyPlan"
             )
         if self.executor not in ("serial", "threads"):
             raise ValueError(
                 f"unknown executor {self.executor!r}; "
                 "expected 'serial' or 'threads'"
             )
-        if self.executor == "threads" and self.mode != "compiled":
+        if self.executor == "threads" and self.mode not in (
+            "compiled", "codegen"
+        ):
             raise ValueError(
-                "executor='threads' requires mode='compiled': only the "
-                "tape replay drops the GIL inside numpy ufuncs; the "
-                "interpreted per-group backend would serialize on it"
+                "executor='threads' requires mode='compiled' or "
+                "'codegen': only those drop the GIL inside numpy ufuncs; "
+                "the interpreted per-group backend would serialize on it"
             )
         self._mesh_version = getattr(self.mesh, "_version", 0)
         if self.use_plan:
@@ -314,25 +322,42 @@ class UnifiedAssembler:
             plan=bool(self.use_plan),
             executor=self.executor,
         ):
-            if self.mode == "compiled":
-                tape = compiled_tape(
-                    self.plan,
-                    variant.name,
-                    vector_dim,
-                    permutation=self.permutation,
-                    kernel_params=self._kernel_params,
-                    tracer=self.tracer,
-                    profiler=self.profiler if self.profile else None,
-                )
+            if self.mode in ("compiled", "codegen"):
+                if self.mode == "codegen":
+                    from .codegen import generated_kernel
+
+                    runner = generated_kernel(
+                        self.plan,
+                        variant.name,
+                        vector_dim,
+                        permutation=self.permutation,
+                        kernel_params=self._kernel_params,
+                        tracer=self.tracer,
+                        profiler=self.profiler if self.profile else None,
+                    )
+                else:
+                    runner = compiled_tape(
+                        self.plan,
+                        variant.name,
+                        vector_dim,
+                        permutation=self.permutation,
+                        kernel_params=self._kernel_params,
+                        tracer=self.tracer,
+                        profiler=self.profiler if self.profile else None,
+                    )
                 if self.executor == "threads":
-                    rhs = tape.execute_chunked(
+                    rhs = runner.execute_chunked(
                         velocity,
                         rhs,
                         num_threads=self.num_threads,
                         chunk_groups=self.chunk_groups,
                     )
+                elif self.mode == "codegen":
+                    rhs = runner.execute(
+                        velocity, rhs, chunk_groups=self.chunk_groups
+                    )
                 else:
-                    rhs = tape.execute(velocity, rhs)
+                    rhs = runner.execute(velocity, rhs)
                 self._maybe_corrupt(rhs)
                 return rhs
             packing = (

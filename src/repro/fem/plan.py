@@ -431,6 +431,7 @@ class AssemblyPlan:
         self._packings: Dict[Tuple, ElementPacking] = {}
         self._patterns: Dict[Tuple, _ScatterPattern] = {}
         self._tapes: Dict[Tuple, object] = {}
+        self._codegen: Dict[Tuple, object] = {}
         self._tuned_vector_dim: Dict[str, int] = {}
         self._tuned_chunk_groups: Dict[str, int] = {}
         get_registry().counter("plan.builds").inc()
@@ -547,6 +548,19 @@ class AssemblyPlan:
 
     def store_tape(self, key: Tuple, tape) -> None:
         self._tapes[key] = tape
+
+    # -- generated (codegen) kernels ----------------------------------------
+    def cached_codegen(self, key: Tuple):
+        """Cached generated kernel for ``key``, or ``None``.
+
+        Generated kernels share the tape cache key and lifecycle: mesh
+        reorientation invalidates the plan, and with it every generated
+        source module bound to the old node numbering.
+        """
+        return self._codegen.get(key)
+
+    def store_codegen(self, key: Tuple, kern) -> None:
+        self._codegen[key] = kern
 
     # -- autotuned vector_dim -----------------------------------------------
     def tuned_vector_dim(self, variant: str) -> Optional[int]:

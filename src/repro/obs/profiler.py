@@ -489,6 +489,31 @@ class TapeProfiler:
             ),
         )
 
+    def for_codegen(
+        self, program, vector_dim: int, executor: str = "serial"
+    ) -> TapeProfile:
+        """Statement-level profile for a generated kernel.
+
+        ``program`` is a :class:`repro.core.codegen.CodegenProgram` or
+        ``ElementalCodegenProgram``; its ``stmt_costs`` slots carry the
+        *summed* bytes/FLOPs of each fused statement's constituent ops,
+        so phase attribution stays comparable with the replayed tape of
+        the same variant while the dispatch-overhead win shows up as
+        fewer, longer op rows.
+        """
+        key = (program.variant, int(vector_dim), "codegen", executor)
+        return self._get(
+            key,
+            lambda: TapeProfile(
+                program.variant,
+                vector_dim,
+                "codegen",
+                executor,
+                op_costs=list(program.stmt_costs),
+                report=program.report,
+            ),
+        )
+
     # -- merge / export --------------------------------------------------
     def snapshot(self) -> List[Dict[str, Any]]:
         with self._lock:
@@ -557,6 +582,9 @@ class NullProfiler:
         raise RuntimeError("NullProfiler cannot profile; check .enabled first")
 
     def for_elemental(self, program, nlane):
+        raise RuntimeError("NullProfiler cannot profile; check .enabled first")
+
+    def for_codegen(self, program, vector_dim, executor="serial"):
         raise RuntimeError("NullProfiler cannot profile; check .enabled first")
 
     def snapshot(self) -> List[Dict[str, Any]]:

@@ -236,22 +236,40 @@ def _assemble_chunk(
 
     With a compiled :class:`~repro.core.tape.TapeProgram` the chunk runs
     through an :class:`~repro.core.tape.ElementalTape` whose buffer arena
-    is bound once and reused across all repeats; otherwise the vectorized
-    reference :func:`~repro.physics.momentum.element_rhs` runs (op-level
-    profiling needs the tape's op table, so it only covers compiled mode).
+    is bound once and reused across all repeats; with an
+    :class:`~repro.core.codegen.ElementalCodegenProgram` the worker
+    re-``exec``-compiles the generated source (deterministic emission, so
+    every rank compiles the identical module and hits the process-local
+    code cache) and runs the
+    :class:`~repro.core.codegen.ElementalGeneratedKernel`; otherwise the
+    vectorized reference :func:`~repro.physics.momentum.element_rhs` runs
+    (op-level profiling needs an op/statement cost table, so it covers
+    the compiled and codegen modes only).
     """
     tracer = Tracer(pid=rank) if traced else NULL_TRACER
     tape = None
     profiler = None
     if program is not None:
-        from ..core.tape import ElementalTape
+        from ..core.codegen import ElementalCodegenProgram
 
-        tape = ElementalTape(program)
+        if isinstance(program, ElementalCodegenProgram):
+            from ..core.codegen import ElementalGeneratedKernel
+
+            tape = ElementalGeneratedKernel(program)
+        else:
+            from ..core.tape import ElementalTape
+
+            tape = ElementalTape(program)
         if profiled:
             from ..obs.profiler import TapeProfiler
 
             profiler = TapeProfiler()
-            tape.profile = profiler.for_elemental(program, int(len(xel)))
+            if isinstance(program, ElementalCodegenProgram):
+                tape.profile = profiler.for_codegen(
+                    program, int(len(xel)), executor="worker"
+                )
+            else:
+                tape.profile = profiler.for_elemental(program, int(len(xel)))
     elem = None
     t0 = time.perf_counter()
     with tracer.span("rank", rank=rank, nelem=int(len(xel)), repeats=repeats):
@@ -355,7 +373,11 @@ class MultiprocessRunner:
     once in the parent and ships the picklable tape program to every
     worker, which replays it with a reusable buffer arena
     (:class:`~repro.core.tape.ElementalTape`) instead of running the
-    reference einsum path.
+    reference einsum path.  ``assembly_mode="codegen"`` ships the
+    picklable :class:`~repro.core.codegen.ElementalCodegenProgram`
+    instead; each worker re-``exec``-compiles the identical generated
+    source once and runs the fused
+    :class:`~repro.core.codegen.ElementalGeneratedKernel`.
 
     Chunk dispatch is supervised (see :class:`WorkerPolicy`): worker
     crashes, hard deaths and hangs are detected by per-task deadlines,
@@ -370,8 +392,8 @@ class MultiprocessRunner:
     the packed element arrays along the named space-filling curve before
     chunking, so each worker sweeps a spatially contiguous slab.
 
-    ``profile=True`` (compiled mode only) attaches op-level software
-    counters to every rank's :class:`~repro.core.tape.ElementalTape`:
+    ``profile=True`` (compiled and codegen modes) attaches op-level
+    software counters to every rank's elemental executor:
     per-rank profiles return with the results and are folded into
     :attr:`profiler` (op detail) and the metrics registry (published
     ``profile.*`` counters, reduced through
@@ -399,10 +421,10 @@ class MultiprocessRunner:
         prometheus_path: Optional[str] = None,
         prometheus_interval: float = 5.0,
     ) -> None:
-        if assembly_mode not in ("reference", "compiled"):
+        if assembly_mode not in ("reference", "compiled", "codegen"):
             raise ValueError(
                 f"unknown assembly_mode {assembly_mode!r}; "
-                "expected 'reference' or 'compiled'"
+                "expected 'reference', 'compiled' or 'codegen'"
             )
         from ..fem.reorder import STRATEGIES
 
@@ -421,10 +443,11 @@ class MultiprocessRunner:
         self.fault_plan = fault_plan
         self.ordering = ordering
         self.profile = bool(profile) or profiler is not None
-        if self.profile and self.assembly_mode != "compiled":
+        if self.profile and self.assembly_mode not in ("compiled", "codegen"):
             raise ValueError(
-                "profile=True requires assembly_mode='compiled': op-level "
-                "profiling reads the tape program's op table"
+                "profile=True requires assembly_mode='compiled' or "
+                "'codegen': op-level profiling reads the program's "
+                "op/statement cost table"
             )
         if self.profile and profiler is None:
             from ..obs.profiler import TapeProfiler
@@ -583,6 +606,12 @@ class MultiprocessRunner:
             from ..core.tape import record_program
 
             program = record_program(
+                self.variant, self.params.as_kernel_params()
+            )
+        elif self.assembly_mode == "codegen":
+            from ..core.codegen import generate_elemental_program
+
+            program = generate_elemental_program(
                 self.variant, self.params.as_kernel_params()
             )
 

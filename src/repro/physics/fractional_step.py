@@ -99,10 +99,11 @@ def resolve_assembler(
 ) -> Callable:
     """Resolve an assembler spec string to an RHS assembly callable.
 
-    ``"reference"`` is the vectorized numpy reference; ``"compiled"`` and
-    ``"interpreted"`` run the DSL kernel path (default variant RSP) in the
-    corresponding :class:`~repro.core.unified.UnifiedAssembler` mode; a
-    ``":<VARIANT>"`` suffix (e.g. ``"compiled:RS"``) picks the variant.
+    ``"reference"`` is the vectorized numpy reference; ``"compiled"``,
+    ``"codegen"`` and ``"interpreted"`` run the DSL kernel path (default
+    variant RSP) in the corresponding
+    :class:`~repro.core.unified.UnifiedAssembler` mode; a
+    ``":<VARIANT>"`` suffix (e.g. ``"codegen:RS"``) picks the variant.
     ``"resilient[:VARIANT]"`` wraps the degradation ladder
     (:class:`~repro.resilience.ladders.ResilientAssembler`): compiled,
     validated against the reference on first sweep, degrading to
@@ -135,11 +136,12 @@ def resolve_assembler(
             tracer=tracer,
             metrics=metrics,
         )
-    if mode not in ("compiled", "interpreted"):
+    if mode not in ("compiled", "codegen", "interpreted"):
         raise ValueError(
             f"unknown assembler spec {spec!r}; expected 'reference', "
-            "'compiled[:VARIANT]', 'interpreted[:VARIANT]', "
-            "'threaded[:VARIANT]' or 'resilient[:VARIANT]'"
+            "'compiled[:VARIANT]', 'codegen[:VARIANT]', "
+            "'interpreted[:VARIANT]', 'threaded[:VARIANT]' or "
+            "'resilient[:VARIANT]'"
         )
     return kernel_rhs_assembler(
         mesh, params, variant=(variant or "RSP"), mode=mode, tracer=tracer

@@ -188,9 +188,10 @@ def kernel_rhs_assembler(
     with the signature :class:`~repro.physics.fractional_step.FractionalStepSolver`
     expects, backed by a :class:`~repro.core.unified.UnifiedAssembler` in
     the chosen ``mode`` (``"compiled"`` replays the plan-cached kernel
-    tape -- zero Python-level allocation in steady state; ``"interpreted"``
+    tape -- zero Python-level allocation in steady state; ``"codegen"``
+    runs the plan-cached exec-compiled generated kernel; ``"interpreted"``
     runs the seed per-group backend).  ``executor="threads"`` (compiled
-    mode only) replays the tape in cache-sized chunks on a thread pool
+    and codegen modes) runs the kernel in cache-sized chunks on a thread pool
     -- ``num_threads`` / ``chunk_groups`` pass through to
     :class:`~repro.core.unified.UnifiedAssembler`.  The assembler is
     bound to ``mesh`` and ``params`` at construction; calling it with

@@ -55,8 +55,8 @@ class AssemblyDegraded(RuntimeError):
 
 
 class ResilientAssembler:
-    """Self-validating RHS assembler with a ``compiled -> interpreted ->
-    reference`` degradation ladder.
+    """Self-validating RHS assembler with a ``codegen -> compiled ->
+    interpreted -> reference`` degradation ladder.
 
     Drop-in for the ``assemble(mesh, velocity, params)`` callable the
     :class:`~repro.physics.fractional_step.FractionalStepSolver` expects
@@ -68,7 +68,7 @@ class ResilientAssembler:
         Bound at construction, like
         :func:`~repro.physics.momentum.kernel_rhs_assembler`.
     variant:
-        DSL variant for the compiled/interpreted rungs.
+        DSL variant for the codegen/compiled/interpreted rungs.
     modes:
         Ladder rungs, fastest first.  The terminal ``"reference"`` rung is
         its own oracle and can never fail validation.
@@ -78,11 +78,11 @@ class ResilientAssembler:
         expected between rungs -- only between runs of the same rung).
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan`; its
-        ``"assembler"`` site corrupts the compiled/interpreted output so
-        chaos tests can force a degradation.
+        ``"assembler"`` site corrupts the DSL-rung output so chaos tests
+        can force a degradation.
     """
 
-    MODES = ("compiled", "interpreted", "reference")
+    MODES = ("codegen", "compiled", "interpreted", "reference")
 
     def __init__(
         self,

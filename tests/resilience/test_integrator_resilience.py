@@ -203,6 +203,6 @@ def test_resolve_assembler_resilient_spec(mesh, params):
 
     asm = resolve_assembler("resilient:RS", mesh, params)
     assert isinstance(asm, ResilientAssembler)
-    assert asm.variant == "RS" and asm.mode == "compiled"
+    assert asm.variant == "RS" and asm.mode == "codegen"
     with pytest.raises(ValueError, match="unknown assembler spec"):
         resolve_assembler("quantum", mesh, params)
