@@ -5,9 +5,9 @@ Compares a fresh ``BENCH_variants.json`` against the committed baseline
 (``benchmarks/bench_baseline.json``) and warns when a variant's real wall
 clock regressed by more than the threshold (default 20%).  Entries are
 matched like-for-like on ``(benchmark, variant, vector_dim, mode,
-ordering, executor)`` -- wall clock scales with the vector length, the
-mesh ordering and the executor, so only measurements with all of them
-equal are ever compared.  Model runtimes are compared too, but
+ordering, executor, scenarios)`` -- wall clock scales with the vector
+length, the mesh ordering, the executor and the scenario batch size, so
+only measurements with all of them equal are ever compared.  Model runtimes are compared too, but
 those are deterministic -- any drift there means the machine model itself
 changed.
 
@@ -66,7 +66,9 @@ def _entry_key(entry: dict) -> tuple:
     fresh ``vector_dim=1024`` run (or interpreted vs compiled).  The
     locality rows add two more axes: the mesh ``ordering`` (seed vs an
     SFC/RCM permutation) and the ``executor`` (serial vs threads) change
-    the wall clock by design, so they are part of the key too.
+    the wall clock by design, so they are part of the key too.  Batched
+    rows add ``scenarios`` (the batch size ``S``; ``None`` for serial
+    rows), so ``S=1`` and ``S=16`` measurements never mix.
     """
     return bench_history.entry_key(entry)
 

@@ -52,7 +52,7 @@ DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
 
 #: key fields carried verbatim into each history row
 KEY_FIELDS = ("benchmark", "variant", "vector_dim", "mode", "ordering",
-              "executor")
+              "executor", "scenarios")
 
 #: measured fields kept per entry (superset of check_regression._FIELDS)
 HISTORY_FIELDS = (
@@ -66,16 +66,20 @@ HISTORY_FIELDS = (
     "profiled_bytes",
     "byte_residual",
     "ops_per_s",
+    "scenarios_per_s",
 )
 
 
 def entry_key(entry: Dict[str, Any]) -> Tuple:
     """Like-for-like comparison key for one bench entry.
 
-    Wall clock scales with the group size, the mesh ordering and the
-    executor, so only measurements with the whole 6-tuple equal are ever
-    compared -- the exact key ``check_regression.py`` matches baseline
-    entries on.
+    Wall clock scales with the group size, the mesh ordering, the
+    executor and the scenario batch size, so only measurements with the
+    whole 7-tuple equal are ever compared -- the exact key
+    ``check_regression.py`` matches baseline entries on.  ``scenarios``
+    is ``None`` for serial (unbatched) rows and the batch size ``S`` for
+    batched rows, so an ``S=1`` batched row never gates an ``S=16`` one
+    (nor a serial one).
     """
     return (
         entry.get("benchmark", "variants"),
@@ -84,15 +88,19 @@ def entry_key(entry: Dict[str, Any]) -> Tuple:
         entry.get("mode"),
         entry.get("ordering"),
         entry.get("executor"),
+        entry.get("scenarios"),
     )
 
 
 def key_label(key: Tuple) -> str:
-    """Human-readable label for a 6-tuple key (diff-report style)."""
-    benchmark, variant, vector_dim, _mode, ordering, executor = key
+    """Human-readable label for a 7-tuple key (diff-report style)."""
+    benchmark, variant, vector_dim, _mode, ordering, executor = key[:6]
+    scenarios = key[6] if len(key) > 6 else None
     label = variant if benchmark == "variants" else f"{benchmark}/{variant}"
     if vector_dim is not None:
         label += f"@vd{vector_dim}"
+    if scenarios is not None:
+        label += f"@S{scenarios}"
     if ordering not in (None, "none"):
         label += f"+{ordering}"
     if executor not in (None, "serial"):

@@ -98,6 +98,7 @@ def autotune_vector_dim(
     mode: str = "compiled",
     tracer=None,
     persist: bool = True,
+    batch=None,
 ) -> AutotuneResult:
     """Sweep ``VECTOR_DIM`` candidates for ``variant`` on ``mesh``.
 
@@ -106,7 +107,9 @@ def autotune_vector_dim(
     smallest best-of time wins, ties broken toward the smaller group size.
     With ``persist=True`` (default) the winner is recorded on the mesh's
     plan via :meth:`~repro.fem.plan.AssemblyPlan.set_tuned_vector_dim`,
-    where assemblers constructed with ``vector_dim=None`` pick it up.
+    keyed ``(variant, mode)`` so the compiled and codegen winners never
+    evict each other; assemblers constructed with ``vector_dim=None``
+    pick it up.
 
     Parameters
     ----------
@@ -114,11 +117,25 @@ def autotune_vector_dim(
         Clock used for the measurements (``time.perf_counter`` by
         default).  Injectable so tests can drive the sweep with a
         deterministic stub.
+    batch:
+        Optional :class:`~repro.core.batch.ScenarioBatch` (or sequence of
+        :class:`AssemblyParams`): candidates are then timed on the
+        batched ``run_batch`` path and the winner persists under the
+        batch-aware mode key ``"<mode>@S<scenarios>"``, which
+        :meth:`~repro.core.unified.UnifiedAssembler.resolve_vector_dim`
+        consults first for batched assemblies.  The profitable lane
+        width shifts with ``S`` (each lane carries ``S`` rows of every
+        full-rank buffer), so batched campaigns deserve their own sweep.
     """
     from ..physics.momentum import AssemblyParams
 
+    if batch is not None:
+        from .batch import ScenarioBatch
+
+        if not isinstance(batch, ScenarioBatch):
+            batch = ScenarioBatch(batch)
     if params is None:
-        params = AssemblyParams()
+        params = AssemblyParams() if batch is None else batch[0]
     if timer is None:
         timer = time.perf_counter
     if candidates is None:
@@ -129,21 +146,32 @@ def autotune_vector_dim(
     if velocity is None:
         velocity = np.zeros((mesh.nnode, 3))
     variant = variant.upper()
+    mode_key = mode if batch is None else f"{mode}@S{batch.size}"
 
     walls: List[float] = []
     with get_tracer().span(
-        "tape.autotune", variant=variant, mode=mode, candidates=len(cand)
+        "tape.autotune",
+        variant=variant,
+        mode=mode_key,
+        candidates=len(cand),
     ):
         for vd in cand:
             kwargs = dict(vector_dim=vd, mode=mode)
             if tracer is not None:
                 kwargs["tracer"] = tracer
             asm = UnifiedAssembler(mesh, params, **kwargs)
-            asm.assemble(variant, velocity)  # warm: record/compile/cache
+            # warm: record/compile/cache
+            if batch is None:
+                asm.assemble(variant, velocity)
+            else:
+                asm.run_batch(variant, batch, velocity)
             best = None
             for _ in range(max(1, int(repeats))):
                 t0 = timer()
-                asm.assemble(variant, velocity)
+                if batch is None:
+                    asm.assemble(variant, velocity)
+                else:
+                    asm.run_batch(variant, batch, velocity)
                 dt = timer() - t0
                 best = dt if best is None else min(best, dt)
             walls.append(float(best))
@@ -152,7 +180,7 @@ def autotune_vector_dim(
     winner = min(zip(walls, cand))[1]
     result = AutotuneResult(
         variant=variant,
-        mode=mode,
+        mode=mode_key,
         nelem=int(mesh.nelem),
         candidates=cand,
         wall_seconds=tuple(walls),
@@ -162,7 +190,7 @@ def autotune_vector_dim(
     registry = get_registry()
     registry.counter("tape.autotune_runs").inc()
     if persist:
-        get_plan(mesh).set_tuned_vector_dim(variant, winner)
+        get_plan(mesh).set_tuned_vector_dim(variant, winner, mode=mode_key)
     return result
 
 

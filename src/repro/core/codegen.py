@@ -72,10 +72,13 @@ from ..obs.profiler import NULL_PROFILER
 from ..obs.spans import NULL_TRACER, get_tracer
 from .dsl import KernelContext
 from .tape import (
+    BatchRecordingBackend,
     RecordingBackend,
     TapeReport,
     _UFUNC_NAMES,
+    _eval_param_stage,
     _is_scalar,
+    batch_tape_cache_key,
     tape_cache_key,
 )
 from .variants import get_variant
@@ -83,12 +86,16 @@ from .variants import get_variant
 __all__ = [
     "DEFAULT_CHUNK_LANES",
     "MAX_FUSE_DEPTH",
+    "BatchedCodegenProgram",
     "CodegenProgram",
     "ElementalCodegenProgram",
+    "BatchedGeneratedKernel",
     "GeneratedKernel",
     "ElementalGeneratedKernel",
+    "generate_batched_program",
     "generate_program",
     "generate_elemental_program",
+    "batched_generated_kernel",
     "generated_kernel",
 ]
 
@@ -207,6 +214,11 @@ def _cse(ops: List[tuple]) -> Tuple[List[tuple], int]:
             new = ("sel", res(op[1]), res(op[2]), res(op[3]), op[4], op[5])
         elif tag == "gc":
             key = ("gc", op[1], op[2])
+            new = op
+        elif tag == "rp":
+            # batched recordings only: one symbolic per-scenario row per
+            # parameter name (the recorder memoizes, but keep CSE total)
+            key = ("rp", op[1])
             new = op
         else:  # gf
             key = ("gf", op[1], op[2], op[3])
@@ -1381,5 +1393,941 @@ def generated_kernel(
         kern.tracer = tracer
     # Always (re)set the profiler -- generated kernels are plan-cached and
     # shared across assemblers, like compiled tapes.
+    kern.profiler = profiler if profiler is not None else NULL_PROFILER
+    return kern
+
+
+# ---------------------------------------------------------------------------
+# Scenario-batched codegen
+# ---------------------------------------------------------------------------
+#
+# A batched recording (BatchRecordingBackend) keeps varying runtime
+# parameters symbolic as ("rp", name, out) ops, giving every SSA value a
+# rank on the lattice srow (S, 1) < {vec (lanes,), full (S, lanes)} (see
+# repro.core.tape._infer_ranks).  Lowering reuses the serial pipeline --
+# DCE, CSE, invariant hoisting, DFS scheduling, fusion -- with three
+# batch-specific twists:
+#
+# * the all-srow prefix is peeled into a tiny Python-evaluated parameter
+#   stage (same lowered format as BatchTapeProgram.param_ops, evaluated
+#   by tape._eval_param_stage into persistent (S, 1) rows Q) instead of
+#   being emitted as lane-wide statements;
+# * slab rows are assigned from two pools -- rank-1 rows BV and (S, n)
+#   rows BF -- by a rank-aware liveness scan, and fused scratch rows are
+#   drawn per pool from the fused op's *own* rank, so shared geometry
+#   arithmetic runs once per batch at rank-1;
+# * scatters reshape by source rank: scalars fill, srow rows broadcast as
+#   (S, 1, 1), vec sources broadcast a (cg, vd) block over all scenarios
+#   and full sources land per scenario as (S, cg, vd).
+#
+# The hoisted setup stays *identical* to the serial emission (invariants
+# are geometry-only, hence rank-1); only the SV views handed to it are
+# (S, G, vd) so its writes broadcast across scenarios once at bind time.
+
+
+def _infer_ranks_annotated(ops: List[tuple], velocity_rank: str) -> Dict[int, str]:
+    """Rank of every annotated SSA value: ``srow`` / ``vec`` / ``full``."""
+    rank: Dict[int, str] = {}
+    for op in ops:
+        tag = op[0]
+        if tag == "sc":
+            continue
+        if tag == "rp":
+            rank[op[-1]] = "srow"
+        elif tag == "gc":
+            rank[op[-1]] = "vec"
+        elif tag == "gf":
+            rank[op[-1]] = velocity_rank
+        else:  # bin / un / sel
+            rs = {rank[r] for r in _reads(op) if not _is_scalar(r)}
+            if rs <= {"srow"}:
+                rank[op[-1]] = "srow"
+            elif rs == {"vec"}:
+                rank[op[-1]] = "vec"
+            else:
+                rank[op[-1]] = "full"
+    return rank
+
+
+def _assign_rows_batch(
+    stmts: List[_Stmt],
+    is_external: Callable[[int], bool],
+    rank_of: Callable[[int], str],
+) -> Tuple[Dict[int, int], int, int]:
+    """Two-pool statement liveness: rank-1 rows and ``(S, n)`` rows.
+
+    Same LIFO linear scan as :func:`_assign_rows`, with one free list per
+    rank pool -- a released rank-1 row can never be handed to a full-rank
+    output (the pools are disjoint slabs), so in-place ``out=`` aliasing
+    stays confined to same-shape rows exactly like the serial kernel.
+    """
+    last: Dict[int, int] = {}
+    for j, st in enumerate(stmts):
+        for r in st.leaves:
+            if not is_external(r):
+                last[r] = j
+    row_of: Dict[int, int] = {}
+    free: Dict[str, List[int]] = {"vec": [], "full": []}
+    nrows = {"vec": 0, "full": 0}
+    for j, st in enumerate(stmts):
+        for r in sorted(set(st.leaves)):
+            if not is_external(r) and last.get(r) == j:
+                free[rank_of(r)].append(row_of[r])
+        if st.op[0] != "sc":
+            out = st.op[-1]
+            if not is_external(out):
+                pool = rank_of(out)
+                if free[pool]:
+                    row_of[out] = free[pool].pop()
+                else:
+                    row_of[out] = nrows[pool]
+                    nrows[pool] += 1
+    return row_of, nrows["vec"], nrows["full"]
+
+
+def _expr_batch(
+    r,
+    prod: Dict[int, tuple],
+    fused: Set[int],
+    name_of: Callable[[int], str],
+    rank_of: Callable[[int], str],
+    scratch: Optional[Dict[str, int]],
+) -> str:
+    """Rank-aware :func:`_expr`: fused bin/un nodes write ``out=`` scratch
+    rows drawn from the pool of the node's *own* rank (``tv*`` rank-1,
+    ``tf*`` full), so a shared-geometry subtree inside a per-scenario
+    statement still computes once per batch."""
+    if _is_scalar(r):
+        return _lit(r)
+    if r in fused:
+        op = prod[r]
+        tag = op[0]
+        out = ""
+        if scratch is not None and tag in ("bin", "un"):
+            pool = rank_of(r)
+            prefix = "tv" if pool == "vec" else "tf"
+            out = f", out={prefix}{scratch[pool]}"
+            scratch[pool] += 1
+
+        def ex(q):
+            return _expr_batch(q, prod, fused, name_of, rank_of, scratch)
+
+        if tag == "bin":
+            return f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}, {ex(op[3])}{out})"
+        if tag == "un":
+            return f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}{out})"
+        return (
+            f"where(greater({ex(op[1])}, {_lit(op[4])}), "
+            f"{ex(op[2])}, {ex(op[3])})"
+        )
+    return name_of(r)
+
+
+def _stmt_costs_batch(
+    stmts: List[_Stmt],
+    rank: Dict[int, str],
+    q_refs: Set[int],
+    scenarios: int,
+) -> Tuple[tuple, ...]:
+    """Per-statement profiler cost slots in units of the *root's* lanes.
+
+    The timed kernel records ``S * n`` lanes for full-rank statements and
+    ``n`` for rank-1 ones; a rank-1 op fused inside a full-rank statement
+    still executes only ``n`` lanes, so its per-lane contribution scales
+    by ``1/S`` to keep total bytes honest.  Reads of ``(S, 1)`` parameter
+    rows count zero bytes, like folded scalars (cache-resident).
+    """
+
+    def cheap(ref) -> bool:
+        return _is_scalar(ref) or ref in q_refs
+
+    costs: List[tuple] = []
+    for st in stmts:
+        root = st.op
+        root_full = root[0] == "sc" or rank.get(root[-1]) == "full"
+        rb = wb = fl = 0.0
+        for op in st.tree:
+            tag = op[0]
+            if tag == "bin":
+                nv = sum(1 for r in (op[2], op[3]) if not cheap(r))
+                orb, owb, ofl = nv * 8.0, 8.0, 1.0
+            elif tag == "un":
+                orb = 0.0 if cheap(op[2]) else 8.0
+                owb, ofl = 8.0, 1.0
+            elif tag == "sel":
+                nv = sum(1 for r in (op[1], op[2], op[3]) if not cheap(r))
+                orb, owb, ofl = nv * 8.0 + 1.0, 9.0, 1.0
+            elif tag in ("gc", "gf"):
+                orb, owb, ofl = 16.0, 8.0, 0.0
+            else:  # sc
+                orb = 0.0 if cheap(op[4]) else 8.0
+                owb, ofl = 8.0, 0.0
+            scale = 1.0
+            if root_full and tag != "sc" and rank.get(op[-1]) == "vec":
+                scale = 1.0 / scenarios
+            rb += orb * scale
+            wb += owb * scale
+            fl += ofl * scale
+        label = _root_label(root)
+        if len(st.tree) > 1:
+            label += f"+{len(st.tree) - 1}"
+        costs.append((_ROOT_KINDS[root[0]], label, rb, wb, fl))
+    return tuple(costs)
+
+
+def _emit_block_batch(
+    lines: List[str],
+    stmts: List[str],
+    lanevars: List[str],
+    indent: str,
+    timed: bool,
+) -> None:
+    if not stmts:
+        lines.append(f"{indent}pass")
+        return
+    if not timed:
+        for s in stmts:
+            lines.append(f"{indent}{s}")
+        return
+    for i, (s, lv) in enumerate(zip(stmts, lanevars)):
+        lines.append(f"{indent}_t = clock()")
+        lines.append(f"{indent}{s}")
+        lines.append(f"{indent}rec({i}, clock() - _t, {lv})")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchedCodegenProgram:
+    """A generated, picklable scenario-batched kernel module.
+
+    ``source`` defines ``setup(C, I, P, T, SV)`` (byte-identical emission
+    to the serial module -- invariants are rank-1 -- writing broadcast
+    ``(S, G, vd)`` views once at bind time), ``factory(VC, GI, P, Q, SV,
+    BV, BF)`` and the profiled twin ``factory_timed(..., clock, rec, n,
+    ns)`` where ``n``/``ns`` are the chunk's rank-1 / full lane counts.
+    ``param_ops`` is the Python-evaluated ``(S, 1)`` scenario-row stage in
+    the exact :class:`~repro.core.tape.BatchTapeProgram` format, refreshed
+    every execute by :func:`~repro.core.tape._eval_param_stage`.
+    """
+
+    variant: str
+    batch_key: tuple
+    scenarios: int
+    velocity_rank: str
+    vector_dim: int
+    nnode_per_element: int
+    source: str
+    param_ops: Tuple[tuple, ...]
+    nq: int
+    scatter_calls: Tuple[Tuple[int, int], ...]
+    setup_calls: Tuple[int, ...]
+    body_calls: Tuple[int, ...]
+    gf_slots: Tuple[int, ...]
+    vc_comps: Tuple[int, ...]
+    npinned: int
+    nsetup_tmp: int
+    nslab_vec: int
+    nslab_full: int
+    stmt_costs: Tuple[tuple, ...]
+    report: TapeReport
+
+
+def generate_batched_program(
+    variant_name: str,
+    vector_dim: int,
+    batch,
+    velocity_rank: str = "vec",
+    nnode_per_element: int = 4,
+) -> BatchedCodegenProgram:
+    """Lower one variant to a scenario-batched generated source module."""
+    if velocity_rank not in ("vec", "full"):
+        raise ValueError(
+            f"velocity_rank must be 'vec' or 'full', got {velocity_rank!r}"
+        )
+    vd = int(vector_dim)
+    S = int(batch.size)
+    variant = get_variant(variant_name)
+    with get_tracer().span(
+        "codegen.generate_batch",
+        variant=variant.name,
+        vector_dim=vd,
+        scenarios=S,
+    ):
+        ctx = KernelContext(
+            connectivity=np.zeros((1, nnode_per_element), dtype=np.int64),
+            coords=np.zeros((1, 3)),
+            fields={"velocity": np.zeros((1, 3))},
+            rhs=np.zeros((1, 3)),
+            params=dict(batch.recording_params()),
+            nnode_per_element=nnode_per_element,
+        )
+        recorder = BatchRecordingBackend(ctx, batch.varying)
+        variant.kernel(recorder, ctx)
+        for op in recorder.ops:
+            if op[0] == "gf" and op[1] != "velocity":
+                raise ValueError(
+                    f"batched generated kernel gathers unknown field "
+                    f"{op[1]!r}; the executor only binds 'velocity'"
+                )
+        ops = _annotate(recorder.ops)
+        live, dce_removed = _dce(ops)
+        ops, cse_removed = _cse(live)
+        rank = _infer_ranks_annotated(ops, velocity_rank)
+        inv = _invariants(ops)
+
+        # -- three-way partition: param stage / setup / body -------------
+        q_of: Dict[int, int] = {}
+        param_ops: List[tuple] = []
+        setup_ops: List[tuple] = []
+        body_ops: List[tuple] = []
+        setup_calls: List[int] = []
+        body_calls: List[int] = []
+        for op in ops:
+            tag = op[0]
+            if tag == "sc":
+                src = op[4]
+                if _is_scalar(src) or src in inv:
+                    setup_ops.append(op)
+                    setup_calls.append(op[1])
+                else:
+                    body_ops.append(op)
+                    body_calls.append(op[1])
+                continue
+            out = op[-1]
+            if tag == "rp" or rank[out] == "srow":
+                q_of[out] = len(q_of)
+
+                def qref(r):
+                    return r if _is_scalar(r) else q_of[r]
+
+                if tag == "rp":
+                    param_ops.append(("rp", op[1], q_of[out]))
+                elif tag == "bin":
+                    param_ops.append((
+                        "bin", _UFUNC_NAMES[op[1]], qref(op[2]),
+                        qref(op[3]), q_of[out],
+                    ))
+                elif tag == "un":
+                    param_ops.append((
+                        "un", _UFUNC_NAMES[op[1]], qref(op[2]), q_of[out],
+                    ))
+                else:  # sel (x is srow: scalar x folds at record time)
+                    param_ops.append((
+                        "sel", qref(op[1]), qref(op[2]), qref(op[3]),
+                        op[4], q_of[out],
+                    ))
+            elif out in inv:
+                setup_ops.append(op)
+            else:
+                body_ops.append(op)
+
+        prod: Dict[int, tuple] = {
+            op[-1]: op for op in ops if op[0] != "sc"
+        }
+        setup_prod = {op[-1]: op for op in setup_ops if op[0] != "sc"}
+        body_prod = {op[-1]: op for op in body_ops if op[0] != "sc"}
+        pinned = sorted({
+            r
+            for op in body_ops
+            for r in _reads(op)
+            if not _is_scalar(r) and r in inv
+        })
+        pinned_set = set(pinned)
+        pin_index = {r: k for k, r in enumerate(pinned)}
+        q_refs = set(q_of)
+
+        def is_external(r: int) -> bool:
+            return r in pinned_set or r in q_refs
+
+        setup_sched = _schedule(setup_ops, setup_prod, extra_roots=pinned)
+        body_sched = _schedule(body_ops, body_prod)
+        setup_fused = _fuse(setup_sched, exclude=pinned_set)
+        body_fused = _fuse(body_sched, exclude=set())
+        setup_stmts = _statements(setup_sched, prod, setup_fused)
+        body_stmts = _statements(body_sched, prod, body_fused)
+
+        setup_rows, nsetup_tmp = _assign_rows(
+            setup_stmts, lambda r: r in pinned_set
+        )
+        body_rows, nslab_v, nslab_f = _assign_rows_batch(
+            body_stmts, is_external, lambda r: rank[r]
+        )
+
+        def setup_name(r: int) -> str:
+            if r in pinned_set:
+                return f"P[{pin_index[r]}]"
+            return f"T[{setup_rows[r]}]"
+
+        def body_name(r: int) -> str:
+            if r in pinned_set:
+                return f"p{pin_index[r]}"
+            if r in q_refs:
+                return f"q{q_of[r]}"
+            if rank[r] == "vec":
+                return f"bv{body_rows[r]}"
+            return f"bf{body_rows[r]}"
+
+        spos = {call: j for j, call in enumerate(setup_calls)}
+        bpos = {call: j for j, call in enumerate(body_calls)}
+        gf_slots = sorted({op[2] for op in body_ops if op[0] == "gf"})
+        gi_index = {slot: k for k, slot in enumerate(gf_slots)}
+        vc_comps = sorted({op[3] for op in body_ops if op[0] == "gf"})
+
+        # -- setup: identical emission to the serial module --------------
+        setup_lines = [
+            _render_mesh(
+                st, prod, setup_fused, setup_name,
+                lambda c: f"SV[{spos[c]}]",
+                lambda op: (
+                    f"take(C[{op[2]}], I[{op[1]}], out={setup_name(op[3])})"
+                ),
+                vd,
+            )
+            for st in setup_stmts
+        ]
+
+        # -- body: rank-aware emission ------------------------------------
+        gather = "take(vc{c}, gi{k}, axis=1, out={dst})" \
+            if velocity_rank == "full" else "take(vc{c}, gi{k}, out={dst})"
+        body_lines: List[str] = []
+        lanevars: List[str] = []
+        nscratch = {"vec": 0, "full": 0}
+        for st in body_stmts:
+            op = st.op
+            tag = op[0]
+            ctr = {"vec": 0, "full": 0}
+
+            def ex(r):
+                return _expr_batch(
+                    r, prod, body_fused, body_name, lambda v: rank[v], ctr
+                )
+
+            if tag == "bin":
+                line = (
+                    f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}, {ex(op[3])}, "
+                    f"out={body_name(op[4])})"
+                )
+            elif tag == "un":
+                line = (
+                    f"{_UFUNC_NAMES[op[1]]}({ex(op[2])}, "
+                    f"out={body_name(op[3])})"
+                )
+            elif tag == "sel":
+                line = (
+                    f"copyto({body_name(op[5])}, where(greater({ex(op[1])}, "
+                    f"{_lit(op[4])}), {ex(op[2])}, {ex(op[3])}))"
+                )
+            elif tag == "gf":
+                line = gather.format(
+                    c=op[3], k=gi_index[op[2]], dst=body_name(op[4])
+                )
+            else:  # sc
+                dst = f"s{bpos[op[1]]}"
+                src = op[4]
+                if _is_scalar(src):
+                    line = f"{dst}[...] = {_lit(src)}"
+                elif src in q_refs:
+                    line = f"copyto({dst}, q{q_of[src]}.reshape({S}, 1, 1))"
+                elif rank[src] == "full":
+                    line = (
+                        f"copyto({dst}, {ex(src)}.reshape({S}, -1, {vd}))"
+                    )
+                else:
+                    line = f"copyto({dst}, {ex(src)}.reshape(-1, {vd}))"
+            body_lines.append(line)
+            if tag == "sc" or rank.get(op[-1]) == "full":
+                lanevars.append("ns")
+            else:
+                lanevars.append("n")
+            nscratch["vec"] = max(nscratch["vec"], ctr["vec"])
+            nscratch["full"] = max(nscratch["full"], ctr["full"])
+
+        nslab_vec = nslab_v + nscratch["vec"]
+        nslab_full = nslab_f + nscratch["full"]
+
+        prologue = (
+            [f"vc{c} = VC[{c}]" for c in vc_comps]
+            + [f"gi{k} = GI[{k}]" for k in range(len(gf_slots))]
+            + [f"p{k} = P[{k}]" for k in range(len(pinned))]
+            + [f"q{k} = Q[{k}]" for k in range(len(q_of))]
+            + [f"s{j} = SV[{j}]" for j in range(len(body_calls))]
+            + [f"bv{r} = BV[{r}]" for r in range(nslab_v)]
+            + [f"tv{k} = BV[{nslab_v + k}]" for k in range(nscratch["vec"])]
+            + [f"bf{r} = BF[{r}]" for r in range(nslab_f)]
+            + [f"tf{k} = BF[{nslab_f + k}]" for k in range(nscratch["full"])]
+        )
+
+        lines: List[str] = [
+            "# generated by repro.core.codegen -- do not edit",
+            f"# variant={variant.name} vector_dim={vd} scenarios={S} "
+            f"velocity_rank={velocity_rank} stmts={len(body_stmts)} "
+            f"rows_vec={nslab_vec} rows_full={nslab_full} "
+            f"param_ops={len(param_ops)} pinned={len(pinned)} "
+            f"fused={len(setup_fused) + len(body_fused)}",
+            "",
+            "",
+            "def setup(C, I, P, T, SV):",
+        ]
+        _emit_block(lines, setup_lines, "    ", timed=False)
+        lines += ["", "", "def factory(VC, GI, P, Q, SV, BV, BF):"]
+        for p in prologue:
+            lines.append(f"    {p}")
+        lines.append("")
+        lines.append("    def kernel():")
+        _emit_block_batch(lines, body_lines, lanevars, "        ",
+                          timed=False)
+        lines.append("")
+        lines.append("    return kernel")
+        lines += [
+            "", "",
+            "def factory_timed(VC, GI, P, Q, SV, BV, BF, clock, rec, n, ns):",
+        ]
+        for p in prologue:
+            lines.append(f"    {p}")
+        lines.append("")
+        lines.append("    def kernel():")
+        _emit_block_batch(lines, body_lines, lanevars, "        ",
+                          timed=True)
+        lines.append("")
+        lines.append("    return kernel")
+        source = "\n".join(lines) + "\n"
+
+        nvec_ops = sum(
+            1 for op in body_ops
+            if op[0] != "sc" and rank.get(op[-1]) == "vec"
+        )
+        nfull_ops = sum(
+            1 for op in body_ops
+            if op[0] != "sc" and rank.get(op[-1]) == "full"
+        )
+        report = dataclasses.replace(
+            _make_report(
+                variant.name, recorder, ops, dce_removed, cse_removed,
+                hoisted=len(setup_sched),
+                fused=len(setup_fused) + len(body_fused),
+                nslab=nslab_vec + nslab_full,
+                npinned=len(pinned),
+            ),
+            srow_ops=len(param_ops),
+            vec_ops=nvec_ops,
+            full_ops=nfull_ops,
+            scenarios=S,
+        )
+        program = BatchedCodegenProgram(
+            variant=variant.name,
+            batch_key=tuple(batch.cache_key()),
+            scenarios=S,
+            velocity_rank=velocity_rank,
+            vector_dim=vd,
+            nnode_per_element=nnode_per_element,
+            source=source,
+            param_ops=tuple(param_ops),
+            nq=len(q_of),
+            scatter_calls=tuple(recorder.scatter_calls),
+            setup_calls=tuple(setup_calls),
+            body_calls=tuple(body_calls),
+            gf_slots=tuple(gf_slots),
+            vc_comps=tuple(vc_comps),
+            npinned=len(pinned),
+            nsetup_tmp=nsetup_tmp,
+            nslab_vec=nslab_vec,
+            nslab_full=nslab_full,
+            stmt_costs=_stmt_costs_batch(body_stmts, rank, q_refs, S),
+            report=report,
+        )
+    registry = get_registry()
+    registry.counter("codegen.generates").inc()
+    registry.gauge(f"codegen.batch_full_rows.{variant.name}").set(nslab_full)
+    _maybe_dump(f"{variant.name}_vd{vd}_S{S}.py", source)
+    return program
+
+
+class BatchedGeneratedKernel:
+    """Executable batched generated module bound to one plan/packing pair.
+
+    Mirrors :class:`~repro.core.tape.BatchedTape`'s binding -- same gather
+    index layout, same *serial* scatter pattern key (the batched flush
+    tiles it per scenario via
+    :func:`~repro.fem.plan.batch_flush_indices`), same ``(S, 1)``
+    parameter rows refreshed from :attr:`param_rows` every execute -- and
+    :class:`GeneratedKernel`'s chunked closure execution: one prebound
+    zero-argument kernel per chunk, slab-striped across threads.
+    """
+
+    #: target bytes per arena slab for the default chunk size
+    TARGET_SLAB_BYTES = 8 << 20
+
+    def __init__(
+        self,
+        program: BatchedCodegenProgram,
+        plan,
+        packing,
+        perm_key=None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        self.program = program
+        self.plan = plan
+        self.packing = packing
+        self.tracer = tracer
+        self.profiler = NULL_PROFILER
+        self.S = program.scenarios
+        mesh = plan.mesh
+        self.nnode = int(mesh.nnode)
+        self.ncomp = 3
+        groups = packing.groups()
+        self.ngroups = len(groups)
+        self.vector_dim = int(packing.vector_dim)
+        if self.vector_dim != program.vector_dim:
+            raise ValueError(
+                f"program generated for vector_dim={program.vector_dim}, "
+                f"packing has {self.vector_dim}"
+            )
+        nlane = self.ngroups * self.vector_dim
+        self.nlane = nlane
+        nnpe = program.nnode_per_element
+
+        conn3 = np.stack([g.connectivity for g in groups])
+        conn_all = conn3.reshape(nlane, nnpe)
+        self._idx = [
+            np.ascontiguousarray(conn_all[:, s], dtype=np.int64)
+            for s in range(nnpe)
+        ]
+        self._ccols = [
+            np.ascontiguousarray(mesh.coords[:, c]) for c in range(3)
+        ]
+        if program.velocity_rank == "full":
+            self._vcols = np.empty((3, self.S, self.nnode))
+        else:
+            self._vcols = np.empty((3, self.nnode))
+
+        # -- scatter pattern: shared with the serial tape/kernel ---------
+        ncalls = len(program.scatter_calls)
+        self._ncalls = ncalls
+        signature = tuple(
+            (g, slot, comp)
+            for g in range(self.ngroups)
+            for (slot, comp) in program.scatter_calls
+        )
+        key = (program.variant, self.vector_dim, perm_key)
+        pattern = plan.scatter_pattern(key)
+        registry = get_registry()
+        if pattern is None:
+            from ..fem.plan import seed_flush_order
+
+            trash = self.nnode * self.ncomp
+            active3 = np.stack([g.active for g in groups])
+            indices = np.empty(
+                (self.ngroups, ncalls, self.vector_dim), dtype=np.int64
+            )
+            for c, (slot, comp) in enumerate(program.scatter_calls):
+                icol = conn3[:, :, slot] * self.ncomp + comp
+                np.copyto(indices[:, c, :], np.where(active3, icol, trash))
+            order = None
+            seed_ids = mesh.seed_element_ids
+            if seed_ids is not None:
+                lane_seed = np.concatenate(
+                    [seed_ids[g.element_ids] for g in groups]
+                )
+                order = seed_flush_order(
+                    lane_seed, active3.reshape(-1), ncalls, self.vector_dim
+                )
+            pattern = plan.store_scatter_pattern(
+                key, indices.reshape(-1), signature, order=order
+            )
+            registry.counter("scatter.pattern_builds").inc()
+        else:
+            if pattern.signature != signature:
+                raise RuntimeError(
+                    "scatter pattern mismatch: cached plan pattern does "
+                    "not match the batched generated kernel's call order"
+                )
+            registry.counter("scatter.pattern_reuses").inc()
+        self._pattern = pattern
+
+        # -- persistent buffers ------------------------------------------
+        from ..fem.plan import batch_flush_indices
+
+        self._batch_indices = batch_flush_indices(
+            pattern, self.S, self.nnode, self.ncomp
+        )
+        self._values = np.empty(
+            (self.S, self.ngroups, ncalls, self.vector_dim)
+        )
+        self._values2d = self._values.reshape(self.S, -1)
+        self._Q = [np.empty((self.S, 1)) for _ in range(program.nq)]
+        #: current per-scenario parameter rows (name -> (S, 1) array);
+        #: refreshed by the plan wrapper on every cache hit
+        self.param_rows: Dict[str, np.ndarray] = {}
+        self._pinned = np.empty((max(program.npinned, 1), nlane))
+
+        ns = _load(
+            program.source,
+            f"<codegen:{program.variant}:vd{self.vector_dim}:S{self.S}>",
+        )
+        self._factory = ns["factory"]
+        self._factory_timed = ns["factory_timed"]
+
+        # run the hoisted setup once: rank-1 geometry at full lane width,
+        # writes broadcasting over the (S, G, vd) scatter-value views.
+        T = np.empty((max(program.nsetup_tmp, 1), nlane))
+        SV = [self._values[:, :, c, :] for c in program.setup_calls]
+        ns["setup"](self._ccols, self._idx, self._pinned, T, SV)
+        del T
+
+        self._chunk_cache: Dict[Tuple[int, int], list] = {}
+
+    @property
+    def report(self) -> TapeReport:
+        return self.program.report
+
+    # -- chunk closures ---------------------------------------------------
+    def _default_chunk_groups(self) -> int:
+        per_lane = 8 * (
+            self.program.nslab_vec + 1
+            + (self.program.nslab_full + 1) * self.S
+        )
+        cg = self.TARGET_SLAB_BYTES // max(per_lane * self.vector_dim, 1)
+        return max(1, min(int(cg), self.ngroups))
+
+    def _resolve_cg(self, chunk_groups: Optional[int]) -> int:
+        if chunk_groups is not None:
+            return max(1, min(int(chunk_groups), self.ngroups))
+        return self._default_chunk_groups()
+
+    def _build_closures(
+        self, cg: int, nslabs: int, profile=None
+    ) -> List[list]:
+        vd = self.vector_dim
+        S = self.S
+        program = self.program
+        bounds = list(range(0, self.ngroups, cg)) + [self.ngroups]
+        chunks = list(zip(bounds[:-1], bounds[1:]))
+        nslabs = max(1, min(nslabs, len(chunks)))
+        slabs_v = np.empty(
+            (nslabs, max(program.nslab_vec, 1), cg * vd)
+        )
+        slabs_f = np.empty(
+            (nslabs, max(program.nslab_full, 1), S * cg * vd)
+        )
+        per_slab: List[list] = [[] for _ in range(nslabs)]
+        factory = self._factory if profile is None else self._factory_timed
+        for i, (g0, g1) in enumerate(chunks):
+            s = i % nslabs
+            lo = g0 * vd
+            n = (g1 - g0) * vd
+            GI = [self._idx[slot][lo:lo + n] for slot in program.gf_slots]
+            P = [self._pinned[k, lo:lo + n] for k in range(program.npinned)]
+            SV = [self._values[:, g0:g1, c, :] for c in program.body_calls]
+            BV = [slabs_v[s, r, :n] for r in range(program.nslab_vec)]
+            BF = [
+                slabs_f[s, r, :S * n].reshape(S, n)
+                for r in range(program.nslab_full)
+            ]
+            if profile is None:
+                kern = factory(self._vcols, GI, P, self._Q, SV, BV, BF)
+            else:
+                kern = factory(
+                    self._vcols, GI, P, self._Q, SV, BV, BF,
+                    time.perf_counter, profile.record, n, S * n,
+                )
+            per_slab[s].append(kern)
+        return per_slab
+
+    def _closures(self, cg: int, nslabs: int) -> List[list]:
+        key = (cg, nslabs)
+        per_slab = self._chunk_cache.get(key)
+        if per_slab is None:
+            per_slab = self._build_closures(cg, nslabs)
+            self._chunk_cache[key] = per_slab
+        return per_slab
+
+    # -- execution --------------------------------------------------------
+    def _check_velocity(self, velocity: np.ndarray) -> np.ndarray:
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if self.program.velocity_rank == "full":
+            want = (self.S, self.nnode, 3)
+        else:
+            want = (self.nnode, 3)
+        if velocity.shape != want:
+            raise ValueError(
+                f"velocity must be {want} for velocity_rank="
+                f"{self.program.velocity_rank!r}, got {velocity.shape}"
+            )
+        return velocity
+
+    def _refresh_inputs(self, velocity: np.ndarray) -> None:
+        if self.program.velocity_rank == "full":
+            np.copyto(self._vcols, np.moveaxis(velocity, -1, 0))
+        else:
+            np.copyto(self._vcols, velocity.T)
+        _eval_param_stage(self.program, self.param_rows, self._Q)
+
+    def _flush(self, rhs: np.ndarray, profile=None) -> None:
+        from ..fem.plan import flush_batch
+
+        with self.tracer.span(
+            "scatter.flush_batch",
+            variant=self.program.variant,
+            scenarios=self.S,
+        ):
+            t0 = time.perf_counter()
+            flush_batch(
+                self._pattern, self._batch_indices, self._values2d, rhs,
+                self.nnode, self.ncomp,
+            )
+            if profile is not None:
+                moved = 2.0 * self._values2d.nbytes + rhs.nbytes
+                profile.record_flush(time.perf_counter() - t0, moved)
+
+    @staticmethod
+    def _run_slab(kerns: list) -> None:
+        for kern in kerns:
+            kern()
+
+    def execute(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assemble all ``S`` scenario RHS vectors: ``(S, nnode, 3)``."""
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.S, self.nnode, self.ncomp))
+        cg = self._resolve_cg(chunk_groups)
+        with self.tracer.span(
+            "codegen.execute_batch",
+            variant=self.program.variant,
+            scenarios=self.S,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+            chunk_groups=cg,
+        ):
+            self._refresh_inputs(velocity)
+            if self.profiler.enabled:
+                profile = self.profiler.for_batch_codegen(
+                    self.program, self.vector_dim, "serial"
+                )
+                per_slab = self._build_closures(cg, 1, profile=profile)
+                self._run_slab(per_slab[0])
+                self._flush(rhs, profile)
+                profile.finish_execution()
+            else:
+                per_slab = self._closures(cg, 1)
+                self._run_slab(per_slab[0])
+                self._flush(rhs)
+        registry = get_registry()
+        registry.counter("codegen.batch_executions").inc()
+        registry.counter("codegen.batch_scenarios").inc(self.S)
+        registry.counter("codegen.lanes_executed").inc(self.nlane)
+        registry.counter("codegen.chunks_executed").inc(len(per_slab[0]))
+        return rhs
+
+    def execute_chunked(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Threaded batched assembly; bitwise identical to :meth:`execute`.
+
+        Chunks write disjoint slices of the shared values buffer and the
+        offset-``bincount`` flush runs serially afterwards, so thread
+        count and scheduling order cannot change a bit.
+        """
+        from ..parallel import threads as _threads
+
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.S, self.nnode, self.ncomp))
+        nthreads = _threads.resolve_num_threads(num_threads)
+        cg = self._resolve_cg(chunk_groups)
+        nchunks = -(-self.ngroups // cg)
+        threaded = nthreads > 1 and nchunks > 1
+        nslabs = min(nthreads, nchunks) if threaded else 1
+        with self.tracer.span(
+            "codegen.execute_batch_chunked",
+            variant=self.program.variant,
+            scenarios=self.S,
+            vector_dim=self.vector_dim,
+            chunks=nchunks,
+            threads=nthreads,
+        ):
+            self._refresh_inputs(velocity)
+            profile = None
+            if self.profiler.enabled:
+                profile = self.profiler.for_batch_codegen(
+                    self.program, self.vector_dim,
+                    "threads" if threaded else "serial",
+                )
+                per_slab = self._build_closures(cg, nslabs, profile=profile)
+            else:
+                per_slab = self._closures(cg, nslabs)
+            if len(per_slab) == 1:
+                self._run_slab(per_slab[0])
+            else:
+                pool = _threads.get_thread_pool(nthreads)
+                for future in [
+                    pool.submit(self._run_slab, kerns)
+                    for kerns in per_slab
+                ]:
+                    future.result()
+            self._flush(rhs, profile)
+            if profile is not None:
+                profile.finish_execution()
+        registry = get_registry()
+        registry.counter("codegen.batch_executions").inc()
+        registry.counter("codegen.batch_scenarios").inc(self.S)
+        registry.counter("codegen.lanes_executed").inc(self.nlane)
+        registry.counter("codegen.chunks_executed").inc(nchunks)
+        if len(per_slab) > 1:
+            registry.counter("locality.threaded_executions").inc()
+        return rhs
+
+
+def batched_generated_kernel(
+    plan,
+    variant_name: str,
+    vector_dim: int,
+    batch,
+    permutation: Optional[np.ndarray] = None,
+    velocity_rank: str = "vec",
+    tracer=None,
+    profiler=None,
+) -> BatchedGeneratedKernel:
+    """The plan-cached :class:`BatchedGeneratedKernel` for one batch.
+
+    Keyed like :func:`~repro.core.tape.batched_tape` (variant, group
+    size, permutation, batch shape/constants/flags, velocity rank) but in
+    the plan's codegen store.  The varying parameter *values* live
+    outside the kernel: they are refreshed from ``batch`` on every call,
+    so sweeping a campaign over new values re-generates nothing.
+    """
+    key = batch_tape_cache_key(
+        variant_name, vector_dim, permutation, batch, velocity_rank
+    )
+    kern = plan.cached_codegen(key)
+    registry = get_registry()
+    if kern is None:
+        with get_tracer().span(
+            "codegen.compile_batch",
+            variant=key[0],
+            vector_dim=int(vector_dim),
+            scenarios=batch.size,
+        ):
+            program = generate_batched_program(
+                key[0], int(vector_dim), batch, velocity_rank=velocity_rank
+            )
+            packing = plan.packing(int(vector_dim), permutation=permutation)
+            kern = BatchedGeneratedKernel(
+                program, plan, packing, perm_key=key[2]
+            )
+        plan.store_codegen(key, kern)
+        registry.counter("codegen.batch_compiles").inc()
+    else:
+        registry.counter("codegen.batch_cache_hits").inc()
+    kern.param_rows = batch.param_rows()
+    if tracer is not None:
+        kern.tracer = tracer
     kern.profiler = profiler if profiler is not None else NULL_PROFILER
     return kern

@@ -247,7 +247,9 @@ class OptimizationStudy:
                     "melem_per_s": self.mesh.nelem / wall / 1e6,
                 }
                 if self.assembler.plan is not None:
-                    tuned = self.assembler.plan.tuned_vector_dim(v)
+                    tuned = self.assembler.plan.tuned_vector_dim(
+                        v, self.assembler.mode
+                    )
                     if tuned is not None:
                         entry["tuned_vector_dim"] = int(tuned)
                 if v in gpu_rt:

@@ -68,13 +68,19 @@ from .variants import get_variant
 
 __all__ = [
     "RecordingBackend",
+    "BatchRecordingBackend",
     "TapeReport",
     "TapeProgram",
+    "BatchTapeProgram",
     "CompiledTape",
+    "BatchedTape",
     "ElementalTape",
     "record_program",
+    "record_batch_program",
     "compiled_tape",
+    "batched_tape",
     "tape_cache_key",
+    "batch_tape_cache_key",
 ]
 
 #: scalar reference on the tape (folded constant); vector refs are ints
@@ -252,6 +258,38 @@ class RecordingBackend(Backend):
         pass
 
 
+class BatchRecordingBackend(RecordingBackend):
+    """Recording backend for scenario-batched tapes.
+
+    Identical to :class:`RecordingBackend` except that runtime parameters
+    named in ``varying`` are *not* folded into scalar constants: they
+    become symbolic ``("rp", name, out)`` ops (memoized, one per name)
+    whose value at execution time is a per-scenario ``(S, 1)`` row.  Any
+    op downstream of one is then computed for all ``S`` scenarios at
+    once, while the (usually dominant) geometry/velocity chains stay at
+    rank-1 and are computed once per batch.
+
+    Parameters *not* in ``varying`` fold exactly as a serial recording
+    folds them, and runtime *flags* still specialize Python control flow
+    (which is why a batch must be flag-uniform).
+    """
+
+    def __init__(self, ctx: KernelContext, varying) -> None:
+        super().__init__(ctx)
+        self.varying = frozenset(varying)
+        self._param_memo: Dict[str, int] = {}
+
+    def runtime_param(self, name: str) -> Value:
+        if name not in self.varying:
+            return self.const(self.ctx.params[name])
+        ref = self._param_memo.get(name)
+        if ref is not None:
+            return Value(self, ref)
+        out = self._new_id()
+        self._param_memo[name] = out
+        return self._emit(("rp", name, out))
+
+
 # ---------------------------------------------------------------------------
 # Compilation: DCE + linear-scan buffer-arena allocation
 # ---------------------------------------------------------------------------
@@ -288,6 +326,15 @@ class TapeReport:
     hoisted_ops: int = 0
     fused_ops: int = 0
     pinned_buffers: int = 0
+    # batched-tape statistics (zero / 1 for serial tapes): ops evaluated
+    # once per batch in the (S, 1) scenario-row stage, rank-1 lane ops
+    # shared by all scenarios, full-rank (S, lanes) ops, and the batch
+    # size.  vec_ops / full_ops is the work-retention ratio that carries
+    # the batched throughput win.
+    srow_ops: int = 0
+    vec_ops: int = 0
+    full_ops: int = 0
+    scenarios: int = 1
 
     def arena_bytes(self, nlane: int) -> int:
         """Arena footprint for ``nlane`` stacked lanes (float64)."""
@@ -1027,6 +1074,786 @@ class ElementalTape:
 
 
 # ---------------------------------------------------------------------------
+# Scenario-batched compilation and execution
+# ---------------------------------------------------------------------------
+
+#: rank lattice of a batched tape value.  ``srow`` is a per-scenario
+#: ``(S, 1)`` parameter row, ``vec`` a rank-1 ``(lanes,)`` vector shared
+#: by all scenarios, ``full`` a per-scenario ``(S, lanes)`` matrix.
+#: ``join(vec, srow) = full``; scalars are rank-neutral.
+_RANKS = ("srow", "vec", "full")
+
+
+def _infer_ranks(ops, velocity_rank: str) -> Dict[int, str]:
+    """Rank of every SSA value: srow / vec / full."""
+    rank: Dict[int, str] = {}
+    for op in ops:
+        tag = op[0]
+        if tag == "rp":
+            rank[op[2]] = "srow"
+        elif tag == "gc":
+            rank[op[3]] = "vec"
+        elif tag == "gf":
+            rank[op[4]] = velocity_rank
+        elif tag in ("bin", "un", "sel"):
+            rs = {
+                rank[r] for r in _op_inputs(op) if not _is_scalar(r)
+            }
+            if rs <= {"srow"}:
+                rank[op[-1]] = "srow"
+            elif rs == {"vec"}:
+                rank[op[-1]] = "vec"
+            else:
+                rank[op[-1]] = "full"
+    return rank
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchTapeProgram:
+    """A compiled scenario-batched tape.
+
+    The op stream is split by rank: ``param_ops`` is the tiny
+    scenario-row stage (all-``srow`` chains, evaluated once per execute
+    into ``nq`` persistent ``(S, 1)`` buffers ``Q``); ``ops`` is the
+    lane-wide body.  Body operands are tagged: a folded ``np.float64``
+    scalar, ``("q", k)`` for param row ``Q[k]``, ``("v", row)`` for a
+    rank-1 arena row or ``("f", row)`` for an ``(S, lanes)`` arena row.
+
+    Body op forms (last element is always the tagged output)::
+
+        ("bin", ufunc_name, a, b, out)
+        ("un",  ufunc_name, a, out)
+        ("sel", x, a, b, thresh, out)
+        ("gc",  node_slot, component, out)      # coordinate gather (vec)
+        ("gf",  node_slot, component, out)      # velocity gather
+        ("sc",  call, node_slot, component, src)
+
+    Param-stage op forms (refs are ``np.float64`` scalars or ``Q``
+    indices)::
+
+        ("rp",  name, out)                      # refresh from the batch
+        ("bin", ufunc_name, a, b, out)
+        ("un",  ufunc_name, a, out)
+        ("sel", x, a, b, thresh, out)
+    """
+
+    variant: str
+    batch_key: tuple
+    scenarios: int
+    velocity_rank: str
+    param_ops: Tuple[tuple, ...]
+    nq: int
+    ops: Tuple[tuple, ...]
+    nbufs_vec: int
+    nbufs_full: int
+    scatter_calls: Tuple[Tuple[int, int], ...]
+    report: TapeReport
+    nnode_per_element: int = 4
+
+
+def _eval_param_stage(program: BatchTapeProgram, param_rows, Q) -> None:
+    """Evaluate the ``(S, 1)`` scenario-row stage in place.
+
+    Elementwise ``np.float64`` ufuncs over per-scenario rows -- each row
+    computes exactly the scalar chain a serial recording would have
+    folded for that scenario, so batched results stay bit-identical.
+    """
+    for op in program.param_ops:
+        tag = op[0]
+        if tag == "rp":
+            np.copyto(Q[op[2]], param_rows[op[1]])
+        elif tag == "bin":
+            _, uf, a, b, out = op
+            _ufunc(uf)(
+                a if _is_scalar(a) else Q[a],
+                b if _is_scalar(b) else Q[b],
+                out=Q[out],
+            )
+        elif tag == "un":
+            _, uf, a, out = op
+            _ufunc(uf)(a if _is_scalar(a) else Q[a], out=Q[out])
+        else:  # sel: x is srow (scalar x folds at record time)
+            _, x, a, b, thresh, out = op
+            m = np.greater(Q[x], thresh)
+            dst = Q[out]
+            if _is_scalar(b):
+                dst[...] = b
+            else:
+                dst[...] = Q[b]
+            np.copyto(dst, a if _is_scalar(a) else Q[a], where=m)
+
+
+def compile_batch_tape(
+    recorder: BatchRecordingBackend,
+    variant: str,
+    batch_key: tuple,
+    scenarios: int,
+    velocity_rank: str = "vec",
+) -> BatchTapeProgram:
+    """Lower a batch-recorded tape: rank split, DCE, two-pool liveness."""
+    if velocity_rank not in ("vec", "full"):
+        raise ValueError(
+            f"velocity_rank must be 'vec' or 'full', got {velocity_rank!r}"
+        )
+    ops = recorder.ops
+    rank = _infer_ranks(ops, velocity_rank)
+
+    # -- DCE backwards from the scatter roots (rp has no inputs) ---------
+    needed: set = set()
+    keep = [False] * len(ops)
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op[0] == "sc" or (not _is_scalar(op[-1]) and op[-1] in needed):
+            keep[i] = True
+            for ref in _op_inputs(op):
+                if not _is_scalar(ref):
+                    needed.add(ref)
+    live_ops = [op for op, k in zip(ops, keep) if k]
+
+    # -- split off the (S, 1) scenario-row stage -------------------------
+    # srow ops are closed under their inputs (scalar/srow only), so the
+    # whole stage is a tiny straight-line prefix evaluated once per
+    # execute; every srow value gets its own persistent Q row.
+    q_of: Dict[int, int] = {}
+    param_ops: List[tuple] = []
+    body: List[tuple] = []
+    for op in live_ops:
+        tag = op[0]
+        is_param = tag == "rp" or (
+            tag in ("bin", "un", "sel") and rank[op[-1]] == "srow"
+        )
+        if is_param:
+            out = op[-1]
+            q_of[out] = len(q_of)
+
+            def qref(r):
+                return r if _is_scalar(r) else q_of[r]
+
+            if tag == "rp":
+                param_ops.append(("rp", op[1], q_of[out]))
+            elif tag == "bin":
+                param_ops.append(
+                    ("bin", _UFUNC_NAMES[op[1]], qref(op[2]), qref(op[3]),
+                     q_of[out])
+                )
+            elif tag == "un":
+                param_ops.append(
+                    ("un", _UFUNC_NAMES[op[1]], qref(op[2]), q_of[out])
+                )
+            else:
+                param_ops.append(
+                    ("sel", qref(op[1]), qref(op[2]), qref(op[3]), op[4],
+                     q_of[out])
+                )
+        else:
+            body.append(op)
+
+    # -- liveness over the body (srow refs are external, never freed) ----
+    last_use: Dict[int, int] = {}
+    for j, op in enumerate(body):
+        for ref in _op_inputs(op):
+            if not _is_scalar(ref) and ref not in q_of:
+                last_use[ref] = j
+
+    buf_of: Dict[int, int] = {}
+    free = {"vec": [], "full": []}
+    nbufs = {"vec": 0, "full": 0}
+    for j, op in enumerate(body):
+        protected = None
+        if op[0] == "sel" and not _is_scalar(op[2]) and op[2] not in q_of:
+            protected = op[2]
+        deferred = None
+        for ref in set(_op_inputs(op)):
+            if (
+                _is_scalar(ref)
+                or ref in q_of
+                or last_use.get(ref) != j
+            ):
+                continue
+            if ref == protected:
+                deferred = ref
+            else:
+                free[rank[ref]].append(buf_of[ref])
+        if op[0] != "sc":
+            out = op[-1]
+            pool = rank[out]
+            if free[pool]:
+                buf_of[out] = free[pool].pop()
+            else:
+                buf_of[out] = nbufs[pool]
+                nbufs[pool] += 1
+        if deferred is not None:
+            free[rank[deferred]].append(buf_of[deferred])
+
+    # -- lower body ops with tagged operands ------------------------------
+    def ref_of(r: Ref):
+        if _is_scalar(r):
+            return r
+        if r in q_of:
+            return ("q", q_of[r])
+        return ("f" if rank[r] == "full" else "v", buf_of[r])
+
+    lowered: List[tuple] = []
+    call = 0
+    nfull = 0
+    for op in body:
+        tag = op[0]
+        if tag == "bin":
+            lowered.append(
+                ("bin", _UFUNC_NAMES[op[1]], ref_of(op[2]), ref_of(op[3]),
+                 ref_of(op[4]))
+            )
+        elif tag == "un":
+            lowered.append(
+                ("un", _UFUNC_NAMES[op[1]], ref_of(op[2]), ref_of(op[3]))
+            )
+        elif tag == "sel":
+            lowered.append(
+                ("sel", ref_of(op[1]), ref_of(op[2]), ref_of(op[3]), op[4],
+                 ref_of(op[5]))
+            )
+        elif tag == "gc":
+            lowered.append(("gc", op[1], op[2], ref_of(op[3])))
+        elif tag == "gf":
+            if op[1] != "velocity":
+                raise ValueError(
+                    f"batched tape gathers unknown field {op[1]!r}; the "
+                    "batched executor only binds 'velocity'"
+                )
+            lowered.append(("gf", op[2], op[3], ref_of(op[4])))
+        elif tag == "sc":
+            lowered.append(("sc", call, op[1], op[2], ref_of(op[3])))
+            call += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unexpected body op {tag!r}")
+        if tag != "sc" and rank.get(op[-1]) == "full":
+            nfull += 1
+
+    nvec_ops = sum(
+        1 for op in body if op[0] != "sc" and rank.get(op[-1]) == "vec"
+    )
+    tags = [op[0] for op in lowered]
+    report = TapeReport(
+        variant=variant,
+        ops_recorded=len(ops),
+        ops_live=len(live_ops),
+        dce_removed=len(ops) - len(live_ops),
+        folded_scalars=recorder.folded_scalars,
+        gather_reuses=recorder.gather_reuses,
+        scatter_calls=len(recorder.scatter_calls),
+        buffers_live=nbufs["vec"] + nbufs["full"],
+        binary_ops=tags.count("bin"),
+        unary_ops=tags.count("un"),
+        select_ops=tags.count("sel"),
+        gather_ops=tags.count("gc") + tags.count("gf"),
+        srow_ops=len(param_ops),
+        vec_ops=nvec_ops,
+        full_ops=nfull,
+        scenarios=scenarios,
+    )
+    return BatchTapeProgram(
+        variant=variant,
+        batch_key=tuple(batch_key),
+        scenarios=int(scenarios),
+        velocity_rank=velocity_rank,
+        param_ops=tuple(param_ops),
+        nq=len(q_of),
+        ops=tuple(lowered),
+        nbufs_vec=nbufs["vec"],
+        nbufs_full=nbufs["full"],
+        scatter_calls=tuple(recorder.scatter_calls),
+        report=report,
+        nnode_per_element=recorder.ctx.nnode_per_element,
+    )
+
+
+def record_batch_program(
+    variant_name: str,
+    batch,
+    velocity_rank: str = "vec",
+    nnode_per_element: int = 4,
+) -> BatchTapeProgram:
+    """Record a variant once for a scenario batch and compile it.
+
+    Like :func:`record_program`, but runtime parameters that vary across
+    the batch stay symbolic (per-scenario rows) instead of folding.
+    """
+    variant = get_variant(variant_name)
+    ctx = KernelContext(
+        connectivity=np.zeros((1, nnode_per_element), dtype=np.int64),
+        coords=np.zeros((1, 3)),
+        fields={"velocity": np.zeros((1, 3))},
+        rhs=np.zeros((1, 3)),
+        params=dict(batch.recording_params()),
+        nnode_per_element=nnode_per_element,
+    )
+    with get_tracer().span(
+        "tape.record_batch", variant=variant.name, scenarios=batch.size
+    ):
+        recorder = BatchRecordingBackend(ctx, batch.varying)
+        variant.kernel(recorder, ctx)
+        program = compile_batch_tape(
+            recorder, variant.name, batch.cache_key(), batch.size,
+            velocity_rank,
+        )
+    registry = get_registry()
+    registry.counter("tape.batch_records").inc()
+    registry.gauge(f"tape.batch_full_ops.{variant.name}").set(
+        program.report.full_ops
+    )
+    return program
+
+
+class BatchedTape:
+    """Replay a :class:`BatchTapeProgram` over ``S`` scenarios at once.
+
+    Shares the serial tape's gather indices, coordinate columns and
+    scatter index pattern (same plan key), so a batch pays plan setup
+    once.  Rank-1 (``vec``) ops run once per batch over the stacked lane
+    axis; only ``full`` ops -- chains downstream of a varying parameter
+    or of per-scenario velocities -- run over ``(S, lanes)``.  Scatter
+    values land in an ``(S, ngroups, ncalls, vector_dim)`` buffer flushed
+    by **one** offset ``bincount`` (:func:`repro.fem.plan.flush_batch`),
+    bit-identical per scenario to the serial flush.
+
+    Execution is chunked over element groups (like the generated kernels)
+    so the ``(S, lanes)`` arena stays cache-sized; every chunk's operand
+    arrays are resolved once into prebound op tuples, cached per
+    ``(chunk_groups, nslabs)``, so steady-state replay does no Python-
+    level ref resolution.
+    """
+
+    #: target bytes per arena slab for the default chunk size
+    TARGET_SLAB_BYTES = 8 << 20
+
+    def __init__(
+        self,
+        program: BatchTapeProgram,
+        plan,
+        packing,
+        perm_key=None,
+        tracer=NULL_TRACER,
+    ):
+        self.program = program
+        self.plan = plan
+        self.packing = packing
+        self.tracer = tracer
+        self.profiler = NULL_PROFILER
+        self.S = program.scenarios
+        mesh = plan.mesh
+        self.nnode = int(mesh.nnode)
+        self.ncomp = 3
+        groups = packing.groups()
+        self.ngroups = len(groups)
+        self.vector_dim = int(packing.vector_dim)
+        self.nlane = self.ngroups * self.vector_dim
+        nnpe = program.nnode_per_element
+
+        conn3 = np.stack([g.connectivity for g in groups])
+        conn_all = conn3.reshape(self.nlane, nnpe)
+        self._idx = [
+            np.ascontiguousarray(conn_all[:, s], dtype=np.int64)
+            for s in range(nnpe)
+        ]
+        self._ccols = [
+            np.ascontiguousarray(mesh.coords[:, c]) for c in range(3)
+        ]
+        if program.velocity_rank == "full":
+            self._vcols = np.empty((3, self.S, self.nnode))
+        else:
+            self._vcols = np.empty((3, self.nnode))
+
+        # -- scatter pattern: shared with the serial tape ----------------
+        ncalls = len(program.scatter_calls)
+        self._ncalls = ncalls
+        signature = tuple(
+            (g, slot, comp)
+            for g in range(self.ngroups)
+            for (slot, comp) in program.scatter_calls
+        )
+        key = (program.variant, self.vector_dim, perm_key)
+        pattern = plan.scatter_pattern(key)
+        registry = get_registry()
+        if pattern is None:
+            from ..fem.plan import seed_flush_order
+
+            trash = self.nnode * self.ncomp
+            active3 = np.stack([g.active for g in groups])
+            indices = np.empty(
+                (self.ngroups, ncalls, self.vector_dim), dtype=np.int64
+            )
+            for c, (slot, comp) in enumerate(program.scatter_calls):
+                icol = conn3[:, :, slot] * self.ncomp + comp
+                np.copyto(indices[:, c, :], np.where(active3, icol, trash))
+            order = None
+            seed_ids = mesh.seed_element_ids
+            if seed_ids is not None:
+                lane_seed = np.concatenate(
+                    [seed_ids[g.element_ids] for g in groups]
+                )
+                order = seed_flush_order(
+                    lane_seed, active3.reshape(-1), ncalls, self.vector_dim
+                )
+            pattern = plan.store_scatter_pattern(
+                key, indices.reshape(-1), signature, order=order
+            )
+            registry.counter("scatter.pattern_builds").inc()
+        else:
+            if pattern.signature != signature:
+                raise RuntimeError(
+                    "scatter pattern mismatch: cached plan pattern does "
+                    "not match the batched tape's call order"
+                )
+            registry.counter("scatter.pattern_reuses").inc()
+        self._pattern = pattern
+
+        # -- persistent buffers ------------------------------------------
+        from ..fem.plan import batch_flush_indices
+
+        self._batch_indices = batch_flush_indices(
+            pattern, self.S, self.nnode, self.ncomp
+        )
+        self._values = np.empty(
+            (self.S, self.ngroups, ncalls, self.vector_dim)
+        )
+        self._values2d = self._values.reshape(self.S, -1)
+        self._Q = [np.empty((self.S, 1)) for _ in range(program.nq)]
+        #: current per-scenario parameter rows (name -> (S, 1) array);
+        #: refreshed by the plan wrapper on every cache hit
+        self.param_rows: Dict[str, np.ndarray] = {}
+        self._ufuncs = {name: _ufunc(name) for name in _UFUNC_NAMES.values()}
+        self._closure_cache: Dict[tuple, list] = {}
+
+    @property
+    def report(self) -> TapeReport:
+        return self.program.report
+
+    # -- chunk planning ---------------------------------------------------
+
+    def _default_chunk_groups(self) -> int:
+        """Largest chunk whose two arena slabs fit the byte target."""
+        per_lane = 8 * (
+            self.program.nbufs_vec + 1
+            + (self.program.nbufs_full + 1) * self.S
+        )
+        cg = self.TARGET_SLAB_BYTES // max(per_lane * self.vector_dim, 1)
+        return max(1, min(int(cg), self.ngroups))
+
+    def _resolve_cg(self, chunk_groups) -> int:
+        if chunk_groups is not None:
+            return max(1, min(int(chunk_groups), self.ngroups))
+        cg = self.plan.tuned_chunk_groups(self.program.variant)
+        if cg is not None:
+            return max(1, min(int(cg), self.ngroups))
+        return self._default_chunk_groups()
+
+    def _bind_chunk(self, g0: int, g1: int, slab) -> Tuple[list, list]:
+        """Resolve one chunk's ops to prebound ``(code, arrays...)``.
+
+        Returns the op list and a parallel per-op lane-count list (honest
+        work: ``n`` lanes for rank-1 ops, ``S * n`` for full-rank ones).
+        """
+        arena_v, arena_f_flat, mask_v, mask_f_flat, mask_q = slab
+        vd = self.vector_dim
+        lo = g0 * vd
+        n = (g1 - g0) * vd
+        nrows = g1 - g0
+        S = self.S
+        lanes = slice(lo, lo + n)
+        Q = self._Q
+
+        def arr(ref):
+            tag = ref[0]
+            if tag == "v":
+                return arena_v[ref[1], :n]
+            if tag == "f":
+                return arena_f_flat[ref[1], : S * n].reshape(S, n)
+            return Q[ref[1]]  # "q"
+
+        # lowered operands are tagged tuples or folded np.float64 scalars
+        # (never plain ints, so tuple-ness is the whole scalar test here)
+        def operand(ref):
+            return arr(ref) if isinstance(ref, tuple) else ref
+
+        def lanes_of(ref) -> int:
+            if not isinstance(ref, tuple) or ref[0] == "q":
+                return S
+            return S * n if ref[0] == "f" else n
+
+        ops: List[tuple] = []
+        nlanes: List[int] = []
+        for op in self.program.ops:
+            tag = op[0]
+            if tag == "bin":
+                ops.append((0, self._ufuncs[op[1]], operand(op[2]),
+                            operand(op[3]), arr(op[4])))
+                nlanes.append(lanes_of(op[4]))
+            elif tag == "un":
+                ops.append((1, self._ufuncs[op[1]], operand(op[2]),
+                            arr(op[3])))
+                nlanes.append(lanes_of(op[3]))
+            elif tag == "sel":
+                x = op[1]
+                if not isinstance(x, tuple) or x[0] == "q":
+                    m = mask_q
+                elif x[0] == "f":
+                    m = mask_f_flat[: S * n].reshape(S, n)
+                else:
+                    m = mask_v[:n]
+                ops.append((2, operand(x), operand(op[2]), operand(op[3]),
+                            op[4], arr(op[5]), m))
+                nlanes.append(lanes_of(op[5]))
+            elif tag == "gc":
+                ops.append((3, self._ccols[op[2]], self._idx[op[1]][lanes],
+                            arr(op[3])))
+                nlanes.append(n)
+            elif tag == "gf":
+                if self.program.velocity_rank == "full":
+                    ops.append((4, self._vcols[op[2]],
+                                self._idx[op[1]][lanes], arr(op[3])))
+                    nlanes.append(S * n)
+                else:
+                    ops.append((3, self._vcols[op[2]],
+                                self._idx[op[1]][lanes], arr(op[3])))
+                    nlanes.append(n)
+            else:  # sc
+                _, call, slot, comp, src = op
+                dst = self._values[:, g0:g1, call, :]
+                if not isinstance(src, tuple):
+                    ops.append((6, dst, src))
+                    nlanes.append(S * n)
+                elif src[0] == "q":
+                    ops.append((5, dst, Q[src[1]].reshape(S, 1, 1)))
+                    nlanes.append(S * n)
+                elif src[0] == "f":
+                    ops.append((5, dst, arr(src).reshape(S, nrows, vd)))
+                    nlanes.append(S * n)
+                else:
+                    ops.append((5, dst, arr(src).reshape(nrows, vd)))
+                    nlanes.append(S * n)
+        return ops, nlanes
+
+    def _closures(self, cg: int, nslabs: int) -> list:
+        """Per-slab lists of prebound chunks, cached per (cg, nslabs)."""
+        cached = self._closure_cache.get((cg, nslabs))
+        if cached is not None:
+            return cached
+        bounds = list(range(0, self.ngroups, cg)) + [self.ngroups]
+        chunks = list(zip(bounds[:-1], bounds[1:]))
+        nslabs = max(1, min(nslabs, len(chunks)))
+        cgw = cg * self.vector_dim
+        S = self.S
+        slabs = [
+            (
+                np.empty((max(self.program.nbufs_vec, 1), cgw)),
+                np.empty((max(self.program.nbufs_full, 1), S * cgw)),
+                np.empty(cgw, dtype=bool),
+                np.empty(S * cgw, dtype=bool),
+                np.empty((S, 1), dtype=bool),
+            )
+            for _ in range(nslabs)
+        ]
+        per_slab: List[list] = [[] for _ in range(nslabs)]
+        for i, (g0, g1) in enumerate(chunks):
+            per_slab[i % nslabs].append(self._bind_chunk(g0, g1, slabs[i % nslabs]))
+        self._closure_cache[(cg, nslabs)] = per_slab
+        return per_slab
+
+    # -- op execution -----------------------------------------------------
+
+    @staticmethod
+    def _run_ops(ops: list) -> None:
+        for op in ops:
+            code = op[0]
+            if code == 0:
+                op[1](op[2], op[3], out=op[4])
+            elif code == 1:
+                op[1](op[2], out=op[3])
+            elif code == 2:
+                _, x, a, b, thresh, out, m = op
+                np.greater(x, thresh, out=m)
+                out[...] = b
+                np.copyto(out, a, where=m)
+            elif code == 3:
+                np.take(op[1], op[2], out=op[3])
+            elif code == 4:
+                np.take(op[1], op[2], axis=1, out=op[3])
+            elif code == 5:
+                np.copyto(op[1], op[2])
+            else:  # code == 6
+                op[1][...] = op[2]
+
+    @staticmethod
+    def _run_ops_timed(ops: list, nlanes: list, profile) -> None:
+        clock = time.perf_counter
+        for i, op in enumerate(ops):
+            code = op[0]
+            t0 = clock()
+            if code == 0:
+                op[1](op[2], op[3], out=op[4])
+            elif code == 1:
+                op[1](op[2], out=op[3])
+            elif code == 2:
+                _, x, a, b, thresh, out, m = op
+                np.greater(x, thresh, out=m)
+                out[...] = b
+                np.copyto(out, a, where=m)
+            elif code == 3:
+                np.take(op[1], op[2], out=op[3])
+            elif code == 4:
+                np.take(op[1], op[2], axis=1, out=op[3])
+            elif code == 5:
+                np.copyto(op[1], op[2])
+            else:
+                op[1][...] = op[2]
+            profile.record(i, clock() - t0, nlanes[i])
+
+    def _run_slab(self, chunks: list, profile=None) -> None:
+        if profile is None:
+            for ops, _ in chunks:
+                self._run_ops(ops)
+        else:
+            for ops, nlanes in chunks:
+                self._run_ops_timed(ops, nlanes, profile)
+
+    # -- public API -------------------------------------------------------
+
+    def _check_velocity(self, velocity: np.ndarray) -> np.ndarray:
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if self.program.velocity_rank == "full":
+            want = (self.S, self.nnode, 3)
+        else:
+            want = (self.nnode, 3)
+        if velocity.shape != want:
+            raise ValueError(
+                f"velocity must be {want} for velocity_rank="
+                f"{self.program.velocity_rank!r}, got {velocity.shape}"
+            )
+        return velocity
+
+    def _refresh_inputs(self, velocity: np.ndarray) -> None:
+        if self.program.velocity_rank == "full":
+            np.copyto(self._vcols, np.moveaxis(velocity, -1, 0))
+        else:
+            np.copyto(self._vcols, velocity.T)
+        _eval_param_stage(self.program, self.param_rows, self._Q)
+
+    def _flush(self, rhs: np.ndarray, profile=None) -> None:
+        from ..fem.plan import flush_batch
+
+        with self.tracer.span(
+            "scatter.flush_batch",
+            variant=self.program.variant,
+            scenarios=self.S,
+        ):
+            t0 = time.perf_counter()
+            flush_batch(
+                self._pattern, self._batch_indices, self._values2d, rhs,
+                self.nnode, self.ncomp,
+            )
+            if profile is not None:
+                moved = 2.0 * self._values2d.nbytes + rhs.nbytes
+                profile.record_flush(time.perf_counter() - t0, moved)
+
+    def _profile(self):
+        if not self.profiler.enabled:
+            return None
+        return self.profiler.for_batch_program(
+            self.program, self.vector_dim,
+            "threads" if getattr(self, "_threaded", False) else "serial",
+        )
+
+    def execute(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assemble all ``S`` scenario RHS vectors: ``(S, nnode, 3)``."""
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.S, self.nnode, self.ncomp))
+        cg = self._resolve_cg(chunk_groups)
+        self._threaded = False
+        with self.tracer.span(
+            "tape.execute_batch",
+            variant=self.program.variant,
+            scenarios=self.S,
+            vector_dim=self.vector_dim,
+            nlane=self.nlane,
+        ):
+            self._refresh_inputs(velocity)
+            profile = self._profile()
+            per_slab = self._closures(cg, 1)
+            self._run_slab(per_slab[0], profile)
+            self._flush(rhs, profile)
+            if profile is not None:
+                profile.finish_execution()
+        registry = get_registry()
+        registry.counter("tape.batch_executions").inc()
+        registry.counter("tape.batch_scenarios").inc(self.S)
+        registry.counter("tape.lanes_executed").inc(self.nlane)
+        return rhs
+
+    def execute_chunked(
+        self,
+        velocity: np.ndarray,
+        rhs: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
+        chunk_groups: Optional[int] = None,
+    ) -> np.ndarray:
+        """Threaded batched assembly; bitwise identical to :meth:`execute`.
+
+        Chunks write disjoint slices of the shared values buffer and the
+        offset-``bincount`` flush runs serially afterwards, so thread
+        count and scheduling order cannot change a bit.
+        """
+        from ..parallel import threads as _threads
+
+        velocity = self._check_velocity(velocity)
+        if rhs is None:
+            rhs = np.zeros((self.S, self.nnode, self.ncomp))
+        nthreads = _threads.resolve_num_threads(num_threads)
+        cg = self._resolve_cg(chunk_groups)
+        nchunks = -(-self.ngroups // cg)
+        threaded = nthreads > 1 and nchunks > 1
+        self._threaded = threaded
+        with self.tracer.span(
+            "tape.execute_batch_chunked",
+            variant=self.program.variant,
+            scenarios=self.S,
+            vector_dim=self.vector_dim,
+            chunks=nchunks,
+            threads=nthreads,
+        ):
+            self._refresh_inputs(velocity)
+            profile = self._profile()
+            per_slab = self._closures(
+                cg, min(nthreads, nchunks) if threaded else 1
+            )
+            if not threaded:
+                self._run_slab(per_slab[0], profile)
+            else:
+                pool = _threads.get_thread_pool(nthreads)
+                for future in [
+                    pool.submit(self._run_slab, chunks, profile)
+                    for chunks in per_slab
+                ]:
+                    future.result()
+            self._flush(rhs, profile)
+            if profile is not None:
+                profile.finish_execution()
+        registry = get_registry()
+        registry.counter("tape.batch_executions").inc()
+        registry.counter("tape.batch_scenarios").inc(self.S)
+        registry.counter("tape.lanes_executed").inc(self.nlane)
+        registry.counter("locality.chunks_executed").inc(nchunks)
+        if threaded:
+            registry.counter("locality.threaded_executions").inc()
+        return rhs
+
+
+# ---------------------------------------------------------------------------
 # Plan-level cache
 # ---------------------------------------------------------------------------
 
@@ -1085,5 +1912,72 @@ def compiled_tape(
     # Always (re)set the profiler: tapes are plan-cached and shared across
     # assemblers, so a stale profiler must never leak into an unprofiled
     # sweep (unlike the tracer, which is additive and harmless to keep).
+    tape.profiler = profiler if profiler is not None else NULL_PROFILER
+    return tape
+
+
+def batch_tape_cache_key(
+    variant_name: str,
+    vector_dim: int,
+    permutation: Optional[np.ndarray],
+    batch,
+    velocity_rank: str,
+) -> tuple:
+    perm_key = None if permutation is None else np.asarray(
+        permutation, dtype=np.int64
+    ).tobytes()
+    return (
+        variant_name.upper(),
+        int(vector_dim),
+        perm_key,
+        "batch",
+        batch.cache_key(),
+        velocity_rank,
+    )
+
+
+def batched_tape(
+    plan,
+    variant_name: str,
+    vector_dim: int,
+    batch,
+    permutation: Optional[np.ndarray] = None,
+    velocity_rank: str = "vec",
+    tracer=None,
+    profiler=None,
+) -> BatchedTape:
+    """The plan-cached :class:`BatchedTape` for one batch configuration.
+
+    Keyed on everything baked into the recording -- variant, group size,
+    permutation, batch size, *which* parameters vary, every folded
+    constant and flag, and the velocity rank.  The varying parameter
+    *values* live outside the tape: they are refreshed from ``batch`` on
+    every call, so sweeping a campaign over new values of the same
+    parameters re-records nothing.
+    """
+    key = batch_tape_cache_key(
+        variant_name, vector_dim, permutation, batch, velocity_rank
+    )
+    tape = plan.cached_tape(key)
+    registry = get_registry()
+    if tape is None:
+        with get_tracer().span(
+            "tape.compile_batch",
+            variant=key[0],
+            vector_dim=int(vector_dim),
+            scenarios=batch.size,
+        ):
+            program = record_batch_program(
+                key[0], batch, velocity_rank=velocity_rank
+            )
+            packing = plan.packing(int(vector_dim), permutation=permutation)
+            tape = BatchedTape(program, plan, packing, perm_key=key[2])
+        plan.store_tape(key, tape)
+        registry.counter("tape.batch_compiles").inc()
+    else:
+        registry.counter("tape.batch_cache_hits").inc()
+    tape.param_rows = batch.param_rows()
+    if tracer is not None:
+        tape.tracer = tracer
     tape.profiler = profiler if profiler is not None else NULL_PROFILER
     return tape

@@ -227,6 +227,10 @@ class UnifiedAssembler:
             perm, dtype=np.int64
         ).tobytes()
         self._packings: dict = {}
+        #: lazy per-scenario serial assemblers (interpreted batch path)
+        self._scenario_assemblers: dict = {}
+        #: telemetry of the most recent :meth:`run_batch` call
+        self.last_batch: Optional[dict] = None
         #: packing at the init-time group size (explicit or the CPU
         #: default); variants with a differing autotuned winner resolve
         #: their own packing at assembly time.
@@ -253,17 +257,27 @@ class UnifiedAssembler:
         self._packings.clear()
         self.packing = self._packing(self.packing.vector_dim)
 
-    def resolve_vector_dim(self, variant_name: str) -> int:
+    def resolve_vector_dim(
+        self, variant_name: str, scenarios: Optional[int] = None
+    ) -> int:
         """The group size a variant assembles with.
 
         Explicit ``vector_dim`` wins; otherwise the plan's autotuned
-        winner for the variant (when recorded); otherwise the paper's CPU
-        default of :data:`CPU_VECTOR_DIM`.
+        winner for ``(variant, mode)`` -- batched assemblies first try
+        the batch-specific ``"<mode>@S<scenarios>"`` winner (see
+        :func:`repro.core.autotune.autotune_vector_dim` with a batch) --
+        otherwise the paper's CPU default of :data:`CPU_VECTOR_DIM`.
         """
         if self.vector_dim is not None:
             return int(self.vector_dim)
         if self.plan is not None:
-            tuned = self.plan.tuned_vector_dim(variant_name)
+            if scenarios is not None:
+                tuned = self.plan.tuned_vector_dim(
+                    variant_name, f"{self.mode}@S{int(scenarios)}"
+                )
+                if tuned is not None:
+                    return int(tuned)
+            tuned = self.plan.tuned_vector_dim(variant_name, self.mode)
             if tuned is not None:
                 return int(tuned)
         return CPU_VECTOR_DIM
@@ -388,6 +402,196 @@ class UnifiedAssembler:
                 with self.tracer.span("scatter.flush", variant=variant.name):
                     acc.finalize(rhs)
             self._maybe_corrupt(rhs)
+        return rhs
+
+    def _scenario_assembler(self, params: AssemblyParams) -> "UnifiedAssembler":
+        """Serial assembler for one scenario's params (interpreted batches)."""
+        asm = self._scenario_assemblers.get(params)
+        if asm is None:
+            asm = UnifiedAssembler(
+                self.mesh,
+                params,
+                vector_dim=self.vector_dim,
+                tracer=self.tracer,
+                permutation=self.permutation,
+                use_plan=self.use_plan,
+                mode=self.mode,
+                executor=self.executor,
+                num_threads=self.num_threads,
+                chunk_groups=self.chunk_groups,
+            )
+            self._scenario_assemblers[params] = asm
+        return asm
+
+    def _isolate_scenario(
+        self,
+        variant: Variant,
+        params: AssemblyParams,
+        velocity: np.ndarray,
+        vector_dim: int,
+    ) -> np.ndarray:
+        """Re-assemble one corrupted scenario on the resilience ladder.
+
+        The scenario leaves the batch alone: it climbs down the usual
+        ``mode -> ... -> reference`` degradation ladder (validated against
+        the vectorized reference on first sweep) while the surviving
+        scenarios' batched results are returned untouched.
+        """
+        from ..resilience.ladders import ResilientAssembler, record_escalation
+
+        record_escalation(
+            "BatchIsolation",
+            "resilience.batch_isolations",
+            self.tracer,
+            None,
+            variant=variant.name,
+            mode=self.mode,
+        )
+        modes = ResilientAssembler.MODES
+        start = modes.index(self.mode) if self.mode in modes else 0
+        ladder = ResilientAssembler(
+            self.mesh,
+            params,
+            variant=variant.name,
+            modes=modes[start:],
+            tracer=self.tracer,
+            vector_dim=vector_dim,
+        )
+        return ladder(self.mesh, velocity, params)
+
+    def run_batch(
+        self, variant_name: str, batch, velocity: np.ndarray
+    ) -> np.ndarray:
+        """Assemble ``S`` scenarios in one batched sweep -> ``(S, nnode, 3)``.
+
+        Parameters
+        ----------
+        variant_name:
+            DSL variant; specialization compatibility is checked against
+            *every* scenario's params.
+        batch:
+            A :class:`~repro.core.batch.ScenarioBatch` (or a sequence of
+            :class:`AssemblyParams`, batched on the fly).
+        velocity:
+            Either one shared ``(nnode, 3)`` field (broadcast to all
+            scenarios) or per-scenario ``(S, nnode, 3)`` fields.
+
+        In ``compiled`` / ``codegen`` modes all scenarios run through one
+        batched tape replay / generated kernel with ``(S, lanes)`` buffers
+        and a single scatter flush; ``interpreted`` mode is the reference
+        serial loop.  Results are bit-identical per scenario to ``S``
+        independent :meth:`assemble` calls with the same configuration.
+
+        A scenario whose assembled RHS comes back non-finite (e.g. an
+        injected ``"assembler"`` fault) is re-assembled alone on the
+        resilience ladder; the other scenarios' batched results are
+        returned untouched.  Per-scenario telemetry lands in
+        :attr:`last_batch`.
+        """
+        from .batch import ScenarioBatch
+
+        if not isinstance(batch, ScenarioBatch):
+            batch = ScenarioBatch(batch)
+        variant = get_variant(variant_name)
+        for params in batch:
+            _check_specialization(variant, params)
+        S = batch.size
+        nnode = self.mesh.nnode
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if velocity.shape == (nnode, 3):
+            velocity_rank = "vec"
+        elif velocity.shape == (S, nnode, 3):
+            velocity_rank = "full"
+        else:
+            raise ValueError(
+                f"velocity must be ({nnode}, 3) shared or "
+                f"({S}, {nnode}, 3) per-scenario, got {velocity.shape}"
+            )
+        self._refresh_caches()
+        vector_dim = self.resolve_vector_dim(variant.name, scenarios=S)
+        with self.tracer.span(
+            "run_batch",
+            variant=variant.name,
+            scenarios=S,
+            vector_dim=vector_dim,
+            mode=self.mode,
+            executor=self.executor,
+            velocity_rank=velocity_rank,
+        ):
+            rhs = np.zeros((S, nnode, 3))
+            if self.mode == "interpreted":
+                for s in range(S):
+                    sub = self._scenario_assembler(batch[s])
+                    v_s = velocity if velocity_rank == "vec" else velocity[s]
+                    rhs[s] = sub.assemble(variant.name, v_s)
+            else:
+                if self.mode == "codegen":
+                    from .codegen import batched_generated_kernel
+
+                    runner = batched_generated_kernel(
+                        self.plan,
+                        variant.name,
+                        vector_dim,
+                        batch,
+                        permutation=self.permutation,
+                        velocity_rank=velocity_rank,
+                        tracer=self.tracer,
+                        profiler=self.profiler if self.profile else None,
+                    )
+                else:
+                    from .tape import batched_tape
+
+                    runner = batched_tape(
+                        self.plan,
+                        variant.name,
+                        vector_dim,
+                        batch,
+                        permutation=self.permutation,
+                        velocity_rank=velocity_rank,
+                        tracer=self.tracer,
+                        profiler=self.profiler if self.profile else None,
+                    )
+                if self.executor == "threads":
+                    rhs = runner.execute_chunked(
+                        velocity,
+                        rhs,
+                        num_threads=self.num_threads,
+                        chunk_groups=self.chunk_groups,
+                    )
+                else:
+                    rhs = runner.execute(
+                        velocity, rhs, chunk_groups=self.chunk_groups
+                    )
+            if self.fault_plan is not None:
+                for s in range(S):
+                    self.fault_plan.corrupt("assembler", rhs[s])
+            finite = [bool(np.isfinite(rhs[s]).all()) for s in range(S)]
+            isolated = []
+            for s in range(S):
+                if finite[s]:
+                    continue
+                v_s = velocity if velocity_rank == "vec" else velocity[s]
+                rhs[s] = self._isolate_scenario(
+                    variant, batch[s], v_s, vector_dim
+                )
+                isolated.append(s)
+            self.last_batch = {
+                "variant": variant.name,
+                "scenarios": S,
+                "mode": self.mode,
+                "executor": self.executor,
+                "vector_dim": vector_dim,
+                "velocity_rank": velocity_rank,
+                "isolated": tuple(isolated),
+                "per_scenario": [
+                    {
+                        "scenario": s,
+                        "finite_on_fast_path": finite[s],
+                        "isolated": s in isolated,
+                    }
+                    for s in range(S)
+                ],
+            }
         return rhs
 
     def trace(

@@ -43,6 +43,7 @@ __all__ = [
     "TapeProfile",
     "TapeProfiler",
     "op_costs_from_program",
+    "op_costs_from_batch_program",
 ]
 
 #: bytes per float64 lane element
@@ -119,6 +120,56 @@ def op_costs_from_program(program) -> List[Tuple[str, str, float, float, float]]
     return costs
 
 
+def _is_batch_vec(ref: Any) -> bool:
+    """A batched-tape operand is lane-wide iff it is a tagged arena ref
+    (``("v", row)`` rank-1 or ``("f", row)`` per-scenario).  Folded
+    scalars and tiny ``("q", k)`` scenario rows are register/cache
+    resident and cost no arena traffic."""
+    return isinstance(ref, tuple) and ref[0] in ("v", "f")
+
+
+def op_costs_from_batch_program(program) -> List[Tuple[str, str, float, float, float]]:
+    """Per-lane costs for a :class:`repro.core.tape.BatchTapeProgram`.
+
+    Same accounting as :func:`op_costs_from_program`, but lanes are
+    *scenario-lanes*: the batched executor records ``n`` lanes for a
+    rank-1 (shared) op and ``S * n`` for a full-rank one, so
+    ``lanes * (rb + wb)`` stays the actual traffic either way.  The
+    ``(S, 1)`` parameter-row operands are counted like folded scalars
+    (0 B) -- they live in cache across the whole sweep.
+    """
+    costs: List[Tuple[str, str, float, float, float]] = []
+    for op in program.ops:
+        tag = op[0]
+        if tag == "bin":
+            nvec = sum(1 for r in (op[2], op[3]) if _is_batch_vec(r))
+            costs.append(("bin", op[1], nvec * _F8, _F8, 1.0))
+        elif tag == "un":
+            nvec = 1 if _is_batch_vec(op[2]) else 0
+            costs.append(("un", op[1], nvec * _F8, _F8, 1.0))
+        elif tag == "sel":
+            nvec = sum(
+                1 for r in (op[1], op[2], op[3]) if _is_batch_vec(r)
+            )
+            costs.append(("sel", "select", nvec * _F8 + 1.0, _F8 + 1.0, 1.0))
+        elif tag == "gc":
+            costs.append(
+                ("gather", f"coord[{op[1]},{op[2]}]", 2 * _F8, _F8, 0.0)
+            )
+        elif tag == "gf":
+            costs.append(
+                ("gather", f"velocity[{op[1]},{op[2]}]", 2 * _F8, _F8, 0.0)
+            )
+        elif tag == "sc":
+            nvec = 1 if _is_batch_vec(op[4]) else 0
+            costs.append(
+                ("scatter", f"rhs[{op[2]},{op[3]}]", nvec * _F8, _F8, 0.0)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown batched op tag {tag!r}")
+    return costs
+
+
 class TapeProfile:
     """Per-op accumulators of one profiled tape configuration.
 
@@ -138,11 +189,15 @@ class TapeProfile:
         executor: str = "serial",
         op_costs: Optional[List[Tuple[str, str, float, float, float]]] = None,
         report=None,
+        scenarios: int = 1,
     ) -> None:
         self.variant = variant
         self.vector_dim = int(vector_dim)
         self.mode = mode
         self.executor = executor
+        #: batch size of a scenario-batched profile (1 for serial tapes);
+        #: part of the profile key so S=1 and S=16 runs never mix
+        self.scenarios = int(scenarios)
         self.report = report  # TapeReport of the compiled program, if any
         self._lock = threading.Lock()
         self.kinds: List[str] = []
@@ -340,6 +395,8 @@ class TapeProfile:
         every flamegraph renderer.
         """
         base = f"{root};{self.variant}@vd{self.vector_dim}[{self.mode}]"
+        if self.scenarios > 1:
+            base += f"xS{self.scenarios}"
         out: Dict[str, int] = {}
         for i in range(len(self.kinds)):
             usec = int(round(self.seconds[i] * 1e6))
@@ -352,9 +409,31 @@ class TapeProfile:
             out[f"{base};flush;bincount"] = int(round(self.flush_seconds * 1e6))
         return out
 
+    def per_scenario_rows(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-op rows attributed to **one** scenario of a batched profile.
+
+        Batched ops execute once for the whole batch, so each scenario is
+        attributed ``1/S`` of every op's seconds/bytes/flops -- shared
+        rank-1 work is amortized, full-rank work divides back to exactly
+        what a serial solve of one scenario would have moved.  For a
+        serial profile (``scenarios == 1``) this is :meth:`op_rows`.
+        """
+        rows = self.op_rows(top)
+        s = float(max(self.scenarios, 1))
+        for row in rows:
+            row["seconds"] /= s
+            row["bytes"] /= s
+            row["flops"] /= s
+            row["scenarios"] = self.scenarios
+        return rows
+
     # -- serialization / merge ------------------------------------------
-    def key(self) -> Tuple[str, int, str, str]:
-        return (self.variant, self.vector_dim, self.mode, self.executor)
+    def key(self) -> Tuple:
+        """Profile identity.  Serial profiles keep the historical
+        4-tuple; batched profiles append their batch size so S=1 and
+        S=16 runs of the same configuration never merge."""
+        base = (self.variant, self.vector_dim, self.mode, self.executor)
+        return base if self.scenarios == 1 else base + (self.scenarios,)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -362,6 +441,7 @@ class TapeProfile:
             "vector_dim": self.vector_dim,
             "mode": self.mode,
             "executor": self.executor,
+            "scenarios": self.scenarios,
             "kinds": list(self.kinds),
             "labels": list(self.labels),
             "rb": list(self._rb),
@@ -385,6 +465,7 @@ class TapeProfile:
             op_costs=list(
                 zip(d["kinds"], d["labels"], d["rb"], d["wb"], d["fl"])
             ),
+            scenarios=int(d.get("scenarios", 1)),
         )
         prof.seconds = [float(x) for x in d["seconds"]]
         prof.lanes = [float(x) for x in d["lanes"]]
@@ -411,9 +492,10 @@ class TapeProfile:
             self.flush_bytes += other.flush_bytes
 
     def summary(self) -> str:
+        batch = f" S={self.scenarios}" if self.scenarios > 1 else ""
         lines = [
             f"profile {self.variant} vd={self.vector_dim} "
-            f"mode={self.mode} executor={self.executor}: "
+            f"mode={self.mode} executor={self.executor}{batch}: "
             f"{self.executions} executions, "
             f"{self.total_seconds * 1e3:.2f} ms, "
             f"{self.total_bytes / 1e6:.1f} MB, "
@@ -442,7 +524,7 @@ class TapeProfiler:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.profiles: Dict[Tuple[str, int, str, str], TapeProfile] = {}
+        self.profiles: Dict[Tuple, TapeProfile] = {}
 
     def _get(self, key, factory) -> TapeProfile:
         with self._lock:
@@ -451,6 +533,57 @@ class TapeProfiler:
                 prof = factory()
                 self.profiles[key] = prof
             return prof
+
+    def for_batch_program(
+        self, program, vector_dim: int, executor: str = "serial"
+    ) -> TapeProfile:
+        """Profile of a scenario-batched replay.
+
+        Keyed ``(variant, vector_dim, "compiled", executor, S)`` -- the
+        batch size extends the serial key so S=1 and S=16 sweeps of the
+        same configuration accumulate separately.  The batched executor
+        records honest lane counts (``n`` for shared rank-1 ops,
+        ``S * n`` for full-rank ones), and
+        :meth:`TapeProfile.per_scenario_rows` divides back to one
+        scenario's share.
+        """
+        key = (
+            program.variant, int(vector_dim), "compiled", executor,
+            program.scenarios,
+        )
+        return self._get(
+            key,
+            lambda: TapeProfile(
+                program.variant,
+                vector_dim,
+                "compiled",
+                executor,
+                op_costs=op_costs_from_batch_program(program),
+                report=program.report,
+                scenarios=program.scenarios,
+            ),
+        )
+
+    def for_batch_codegen(
+        self, program, vector_dim: int, executor: str = "serial"
+    ) -> TapeProfile:
+        """Statement-level profile of a batched generated kernel."""
+        key = (
+            program.variant, int(vector_dim), "codegen", executor,
+            program.scenarios,
+        )
+        return self._get(
+            key,
+            lambda: TapeProfile(
+                program.variant,
+                vector_dim,
+                "codegen",
+                executor,
+                op_costs=list(program.stmt_costs),
+                report=program.report,
+                scenarios=program.scenarios,
+            ),
+        )
 
     def for_program(
         self, program, vector_dim: int, executor: str = "serial"
@@ -585,6 +718,12 @@ class NullProfiler:
         raise RuntimeError("NullProfiler cannot profile; check .enabled first")
 
     def for_codegen(self, program, vector_dim, executor="serial"):
+        raise RuntimeError("NullProfiler cannot profile; check .enabled first")
+
+    def for_batch_program(self, program, vector_dim, executor="serial"):
+        raise RuntimeError("NullProfiler cannot profile; check .enabled first")
+
+    def for_batch_codegen(self, program, vector_dim, executor="serial"):
         raise RuntimeError("NullProfiler cannot profile; check .enabled first")
 
     def snapshot(self) -> List[Dict[str, Any]]:

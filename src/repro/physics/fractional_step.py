@@ -49,6 +49,7 @@ from .pressure import PressureSolver
 __all__ = [
     "StepReport",
     "FractionalStepSolver",
+    "BatchCampaign",
     "IntegrationError",
     "cfl_time_step",
     "resolve_assembler",
@@ -316,6 +317,40 @@ class FractionalStepSolver:
         )
 
     # ------------------------------------------------------------------
+    def _rk_coeffs(self) -> Tuple[float, ...]:
+        if self.sweeps == 3:
+            return _RK3_COEFFS
+        return tuple((k + 1.0) / self.sweeps for k in range(self.sweeps))
+
+    def _umax(self) -> float:
+        if not self.velocity.size:
+            return 0.0
+        return float(np.linalg.norm(self.velocity, axis=1).max())
+
+    def _predict(self, dt: float) -> Tuple[np.ndarray, float]:
+        """Explicit RK momentum predictor (``sweeps`` assemblies).
+
+        Returns ``(u_predictor, t_assembly)``; raises
+        :class:`_StageFailure` on a non-finite predictor, leaving the
+        solver untouched.
+        """
+        mesh = self.mesh
+        minv = 1.0 / self.mass[:, None]
+        with self.tracer.span("momentum", sweeps=self.sweeps):
+            t0 = time.perf_counter()
+            u0 = self.velocity.copy()
+            u = u0
+            for c in self._rk_coeffs():
+                rhs = self.assemble(mesh, u, self.params)
+                if self.fault_plan is not None:
+                    self.fault_plan.corrupt("momentum_rhs", rhs)
+                u = u0 + (c * dt) * (rhs * minv)
+                self._apply_bcs(u)
+            t_assembly = time.perf_counter() - t0
+        if not np.isfinite(u).all():
+            raise _StageFailure("momentum", "non-finite predictor velocity")
+        return u, t_assembly
+
     def _attempt_step(
         self, dt: float
     ) -> Tuple[np.ndarray, np.ndarray, object, float, float]:
@@ -325,31 +360,22 @@ class FractionalStepSolver:
         raises :class:`_StageFailure` when a stage guard trips, leaving
         the solver untouched so the caller can roll back cheaply.
         """
-        mesh = self.mesh
-        minv = 1.0 / self.mass[:, None]
-        umax_before = (
-            float(np.linalg.norm(self.velocity, axis=1).max())
-            if self.velocity.size
-            else 0.0
-        )
-        # -- explicit RK momentum predictor (sweeps assemblies) -----------
-        with self.tracer.span("momentum", sweeps=self.sweeps):
-            t0 = time.perf_counter()
-            u0 = self.velocity.copy()
-            u = u0
-            coeffs = _RK3_COEFFS if self.sweeps == 3 else tuple(
-                (k + 1.0) / self.sweeps for k in range(self.sweeps)
-            )
-            for c in coeffs:
-                rhs = self.assemble(mesh, u, self.params)
-                if self.fault_plan is not None:
-                    self.fault_plan.corrupt("momentum_rhs", rhs)
-                u = u0 + (c * dt) * (rhs * minv)
-                self._apply_bcs(u)
-            t_assembly = time.perf_counter() - t0
-        if not np.isfinite(u).all():
-            raise _StageFailure("momentum", "non-finite predictor velocity")
+        umax_before = self._umax()
+        u, t_assembly = self._predict(dt)
+        u, p, result, t_pressure = self._finish_step(u, dt, umax_before)
+        return u, p, result, t_assembly, t_pressure
 
+    def _finish_step(
+        self, u: np.ndarray, dt: float, umax_before: float
+    ) -> Tuple[np.ndarray, np.ndarray, object, float]:
+        """Pressure solve + projection + guards from a predictor velocity.
+
+        Shared by the serial :meth:`_attempt_step` and the lockstep
+        :class:`BatchCampaign` (which replaces only the momentum
+        predictor with one batched assembly per RK sweep).  Does not
+        mutate solver state; raises :class:`_StageFailure` on a tripped
+        guard.
+        """
         # -- pressure solve -----------------------------------------------
         with self.tracer.span("pressure"):
             t0 = time.perf_counter()
@@ -374,7 +400,7 @@ class FractionalStepSolver:
                 f"velocity blow-up: max|u| {umax_before:.3e} -> "
                 f"{umax_after:.3e} (> {self.blowup_factor:g}x)",
             )
-        return u, result.x, result, t_assembly, t_pressure
+        return u, result.x, result, t_pressure
 
     def advance(self, dt: float) -> StepReport:
         """One fractional step of size ``dt``.
@@ -426,6 +452,19 @@ class FractionalStepSolver:
                 reason=failure.reason,
             )
 
+        return self._commit_step(u, p, result, dt_eff, t_assembly, t_pressure)
+
+    def _commit_step(
+        self,
+        u: np.ndarray,
+        p: np.ndarray,
+        result,
+        dt_eff: float,
+        t_assembly: float,
+        t_pressure: float,
+    ) -> StepReport:
+        """Commit an accepted step: state, counters, history, checkpoint."""
+        registry = get_registry() if self._metrics is None else self._metrics
         registry.counter("fstep.steps").inc()
         registry.counter("fstep.assemblies").inc(self.sweeps)
         registry.histogram("fstep.pressure_iterations").record(result.iterations)
@@ -525,6 +564,321 @@ class FractionalStepSolver:
         """Cumulative assembly vs pressure seconds (the paper's 80% claim)."""
         ta = sum(r.assembly_seconds for r in self.history)
         tp = sum(r.pressure_seconds for r in self.history)
+        total = ta + tp
+        return {
+            "assembly_seconds": ta,
+            "pressure_seconds": tp,
+            "assembly_fraction": ta / total if total else 0.0,
+        }
+
+
+class BatchCampaign:
+    """``S`` fractional-step trajectories advanced in lockstep.
+
+    A parameter campaign (different viscosity / density / forcing /
+    Vreman constant, one shared mesh) runs all ``S`` momentum predictors
+    through **one** batched assembly per Runge-Kutta sweep
+    (:meth:`repro.core.unified.UnifiedAssembler.run_batch`) instead of
+    ``S`` serial assemblies -- the pressure solve and projection stay
+    per-scenario.  Each scenario's trajectory is bit-identical to a solo
+    :class:`FractionalStepSolver` run of the same configuration at the
+    same ``vector_dim``.
+
+    Fault isolation: a scenario whose predictor or pressure/projection
+    guard trips is *permanently detached* from the lockstep batch
+    (counted in ``resilience.batch_isolations`` with a
+    ``BatchIsolation`` span) and from then on advances alone through the
+    ordinary :meth:`FractionalStepSolver.advance` rollback machinery --
+    the surviving ``S - 1`` scenarios keep the batched fast path and
+    their results are untouched.
+
+    Parameters
+    ----------
+    mesh:
+        Shared tetrahedral mesh.
+    scenarios:
+        A :class:`~repro.core.batch.ScenarioBatch` or a sequence of
+        :class:`AssemblyParams` (batched on the fly).
+    variant, mode:
+        DSL kernel variant and execution mode (``"compiled"`` /
+        ``"codegen"`` / ``"interpreted"``) for the batched assembly.
+    vector_dim:
+        Element-group size.  Resolved **once** at construction (explicit
+        value, else the plan's autotuned ``"<mode>@S<S>"`` or
+        ``(variant, mode)`` winner, else the CPU default) and pinned, so
+        detached scenarios' solo assemblies stay bit-identical to the
+        batched path.
+    dirichlet, sweeps_per_step, max_dt_halvings, blowup_factor:
+        Forwarded to every per-scenario solver.
+    pressure_solver:
+        Shared :class:`PressureSolver` (AMG setup paid once); defaults
+        to a fresh solver on ``mesh``.
+    executor, num_threads:
+        Batched-assembly executor (``"serial"`` or ``"threads"``).
+    fault_plans:
+        Optional per-scenario sequence of
+        :class:`~repro.resilience.faults.FaultPlan` (``None`` entries
+        allowed); scenario ``s``'s plan corrupts only its own
+        ``"momentum_rhs"`` sweeps.
+    """
+
+    def __init__(
+        self,
+        mesh: TetMesh,
+        scenarios,
+        variant: str = "RSP",
+        mode: str = "compiled",
+        vector_dim: Optional[int] = None,
+        dirichlet: Sequence[DirichletBC] = (),
+        pressure_solver: Optional[PressureSolver] = None,
+        sweeps_per_step: int = 3,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_dt_halvings: int = 4,
+        blowup_factor: float = 100.0,
+        executor: str = "serial",
+        num_threads: Optional[int] = None,
+        fault_plans: Optional[Sequence] = None,
+    ) -> None:
+        from ..core.batch import ScenarioBatch
+        from ..core.unified import UnifiedAssembler
+
+        if not isinstance(scenarios, ScenarioBatch):
+            scenarios = ScenarioBatch(scenarios)
+        self.mesh = mesh
+        self.batch = scenarios
+        self.variant = variant.upper()
+        self.mode = mode
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._metrics = metrics
+        S = self.batch.size
+        if fault_plans is None:
+            fault_plans = [None] * S
+        if len(fault_plans) != S:
+            raise ValueError(
+                f"fault_plans must have one entry per scenario "
+                f"({S}), got {len(fault_plans)}"
+            )
+        self.assembler = UnifiedAssembler(
+            mesh,
+            self.batch[0],
+            mode=mode,
+            vector_dim=vector_dim,
+            tracer=self.tracer,
+            executor=executor,
+            num_threads=num_threads,
+        )
+        # Pin the group size now (autotuned winners may differ between
+        # "<mode>@S<S>" and plain "<mode>"): solo sub-assemblers inherit
+        # this exact value, keeping detached scenarios bit-identical to
+        # the batched fast path.
+        self.vector_dim = self.assembler.resolve_vector_dim(
+            self.variant, scenarios=S
+        )
+        self.assembler.vector_dim = self.vector_dim
+        self.pressure = pressure_solver or PressureSolver(mesh)
+        self.solvers: List[FractionalStepSolver] = [
+            FractionalStepSolver(
+                mesh,
+                self.batch[s],
+                dirichlet=dirichlet,
+                assemble=self._solo_assemble(self.batch[s]),
+                pressure_solver=self.pressure,
+                sweeps_per_step=sweeps_per_step,
+                tracer=self.tracer,
+                metrics=metrics,
+                max_dt_halvings=max_dt_halvings,
+                blowup_factor=blowup_factor,
+                fault_plan=fault_plans[s],
+            )
+            for s in range(S)
+        ]
+        self.mass = self.solvers[0].mass
+        self._detached: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.batch.size
+
+    @property
+    def detached(self) -> Tuple[int, ...]:
+        """Scenarios that left the lockstep batch (sorted, permanent)."""
+        return tuple(sorted(self._detached))
+
+    def _solo_assemble(self, params: AssemblyParams) -> Callable:
+        """Solo assembly closure sharing the campaign's scenario cache."""
+        asm = self.assembler._scenario_assembler(params)
+        variant = self.variant
+
+        def assemble(mesh, velocity, p):
+            return asm.assemble(variant, velocity)
+
+        return assemble
+
+    def set_velocities(self, velocity: np.ndarray) -> None:
+        """Set initial velocities: one shared ``(nnode, 3)`` field or
+        per-scenario ``(S, nnode, 3)``."""
+        velocity = np.asarray(velocity, dtype=np.float64)
+        if velocity.shape == (self.mesh.nnode, 3):
+            for solver in self.solvers:
+                solver.set_velocity(velocity)
+        elif velocity.shape == (self.size, self.mesh.nnode, 3):
+            for s, solver in enumerate(self.solvers):
+                solver.set_velocity(velocity[s])
+        else:
+            raise ValueError(
+                f"velocity must be ({self.mesh.nnode}, 3) shared or "
+                f"({self.size}, {self.mesh.nnode}, 3), got {velocity.shape}"
+            )
+
+    def velocities(self) -> np.ndarray:
+        """Stacked ``(S, nnode, 3)`` per-scenario velocity fields."""
+        return np.stack([solver.velocity for solver in self.solvers])
+
+    # ------------------------------------------------------------------
+    def _lockstep_predict(
+        self, dt: float, active: Sequence[int]
+    ) -> Tuple[np.ndarray, float]:
+        """All active momentum predictors, one batched assembly per sweep.
+
+        Per-scenario updates use the exact expression order of the solo
+        :meth:`FractionalStepSolver._predict` (``u0 + (c*dt)*(rhs*minv)``
+        with the scenario's own RHS row), so each row is bitwise equal
+        to the corresponding solo predictor.
+        """
+        from ..core.batch import ScenarioBatch
+
+        solvers = [self.solvers[s] for s in active]
+        sub = (
+            self.batch
+            if len(active) == self.batch.size
+            else ScenarioBatch([self.batch[s] for s in active])
+        )
+        minv = 1.0 / self.mass[:, None]
+        u0 = np.stack([sv.velocity for sv in solvers])
+        u = u0.copy()
+        failed = np.zeros(len(solvers), dtype=bool)
+        with self.tracer.span(
+            "momentum", sweeps=solvers[0].sweeps, scenarios=len(active)
+        ):
+            t0 = time.perf_counter()
+            for c in solvers[0]._rk_coeffs():
+                rhs = self.assembler.run_batch(self.variant, sub, u)
+                for j, sv in enumerate(solvers):
+                    if failed[j]:
+                        continue
+                    if sv.fault_plan is not None:
+                        sv.fault_plan.corrupt("momentum_rhs", rhs[j])
+                    u[j] = u0[j] + (c * dt) * (rhs[j] * minv)
+                    sv._apply_bcs(u[j])
+                    if not np.isfinite(u[j]).all():
+                        # Freeze the row at its (finite) initial state so
+                        # the remaining batched sweeps stay NaN-free for
+                        # the healthy scenarios; the guard below detaches
+                        # this one.  Scenario rows are independent, so
+                        # the substitution cannot perturb the others.
+                        failed[j] = True
+                        u[j] = u0[j]
+            t_assembly = time.perf_counter() - t0
+        for j in np.flatnonzero(failed):
+            u[j] = np.nan
+        return u, t_assembly
+
+    def _detach(self, s: int, exc: _StageFailure) -> None:
+        from ..resilience.ladders import record_escalation
+
+        record_escalation(
+            "BatchIsolation",
+            "resilience.batch_isolations",
+            self.tracer,
+            self._metrics,
+            scenario=s,
+            stage=exc.stage,
+            reason=exc.reason,
+        )
+        self._detached.add(s)
+
+    def advance(self, dt: float) -> List[StepReport]:
+        """One lockstep time step; returns per-scenario step reports.
+
+        Active scenarios share one batched assembly per RK sweep; their
+        pressure solves, projections and guards run per scenario.  A
+        guard trip detaches that scenario (its state is still pre-step)
+        and hands it to its solo solver's rollback loop -- other
+        scenarios commit their batched results untouched.  Previously
+        detached scenarios advance solo.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        S = self.size
+        registry = get_registry() if self._metrics is None else self._metrics
+        reports: List[Optional[StepReport]] = [None] * S
+        active = [s for s in range(S) if s not in self._detached]
+        with self.tracer.span(
+            "campaign_step", scenarios=S, active=len(active), dt=float(dt)
+        ):
+            if active:
+                registry.counter("fstep.batch_steps").inc()
+                registry.counter("fstep.batch_lockstep_scenarios").inc(
+                    len(active)
+                )
+                umax = {s: self.solvers[s]._umax() for s in active}
+                u_pred, t_assembly = self._lockstep_predict(dt, active)
+                t_share = t_assembly / len(active)
+                for j, s in enumerate(active):
+                    sv = self.solvers[s]
+                    try:
+                        if not np.isfinite(u_pred[j]).all():
+                            raise _StageFailure(
+                                "momentum", "non-finite predictor velocity"
+                            )
+                        u, p, result, t_pressure = sv._finish_step(
+                            u_pred[j], dt, umax[s]
+                        )
+                    except _StageFailure as exc:
+                        # sv state is still pre-step: detach and let the
+                        # solo rollback loop (dt-halving) handle it.
+                        self._detach(s, exc)
+                        reports[s] = sv.advance(dt)
+                    else:
+                        reports[s] = sv._commit_step(
+                            u, p, result, dt, t_share, t_pressure
+                        )
+            for s in range(S):
+                if reports[s] is None:
+                    reports[s] = self.solvers[s].advance(dt)
+        return reports
+
+    def run(
+        self,
+        steps: int,
+        cfl: float = 0.5,
+        dt: Optional[float] = None,
+        callback: Optional[Callable[[List[StepReport]], None]] = None,
+    ) -> List[List[StepReport]]:
+        """Advance ``steps`` lockstep steps with a common (CFL-min or
+        fixed) dt; returns the per-step lists of scenario reports."""
+        out = []
+        for _ in range(steps):
+            step_dt = dt if dt is not None else min(
+                cfl_time_step(self.mesh, solver.velocity, cfl)
+                for solver in self.solvers
+            )
+            reps = self.advance(step_dt)
+            if callback is not None:
+                callback(reps)
+            out.append(reps)
+        return out
+
+    def timing_breakdown(self) -> Dict[str, float]:
+        """Campaign-wide cumulative assembly vs pressure seconds."""
+        ta = sum(
+            r.assembly_seconds for sv in self.solvers for r in sv.history
+        )
+        tp = sum(
+            r.pressure_seconds for sv in self.solvers for r in sv.history
+        )
         total = ta + tp
         return {
             "assembly_seconds": ta,

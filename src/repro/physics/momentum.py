@@ -40,10 +40,29 @@ from .turbulence import TurbulenceModel, VREMAN_C, eddy_viscosity
 
 __all__ = [
     "AssemblyParams",
+    "BATCHABLE_PARAMS",
+    "FLAG_PARAMS",
     "assemble_momentum_rhs",
     "element_rhs",
     "kernel_rhs_assembler",
 ]
+
+#: kernel-parameter names that may vary per scenario inside one
+#: :class:`~repro.core.batch.ScenarioBatch` -- scalar physics values the
+#: batched tape can carry as per-scenario ``(S, 1)`` rows.
+BATCHABLE_PARAMS = (
+    "density",
+    "viscosity",
+    "force_x",
+    "force_y",
+    "force_z",
+    "vreman_c",
+)
+
+#: kernel-parameter names that select code paths at record time
+#: (read through ``runtime_flag`` and folded into Python control flow);
+#: these must be uniform across a scenario batch.
+FLAG_PARAMS = ("turbulence_model", "convective_form", "material_law")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -65,6 +65,7 @@ RESILIENCE_COUNTERS = (
     "resilience.checkpoints",
     "resilience.solver_escalations",
     "resilience.assembler_degradations",
+    "resilience.batch_isolations",
     "resilience.validations",
 )
 

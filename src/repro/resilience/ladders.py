@@ -76,6 +76,13 @@ class ResilientAssembler:
         Validation tolerances against the reference assembly (the DSL
         paths reassociate floating-point ops, so exact equality is not
         expected between rungs -- only between runs of the same rung).
+    vector_dim:
+        Optional element-group size forwarded to every DSL rung's
+        :class:`~repro.core.unified.UnifiedAssembler`; ``None`` resolves
+        per variant as usual.  Batched scenario isolation passes the
+        batch's group size so an isolated scenario that survives on the
+        fast rung stays bit-identical to a serial solve of the same
+        configuration.
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan`; its
         ``"assembler"`` site corrupts the DSL-rung output so chaos tests
@@ -95,6 +102,7 @@ class ResilientAssembler:
         fault_plan=None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        vector_dim: Optional[int] = None,
     ) -> None:
         for mode in modes:
             if mode not in self.MODES:
@@ -111,6 +119,7 @@ class ResilientAssembler:
         self.rtol = float(rtol)
         self.atol = float(atol)
         self.fault_plan = fault_plan
+        self.vector_dim = vector_dim
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._metrics = metrics
         self.rung = 0
@@ -133,6 +142,7 @@ class ResilientAssembler:
                 self.mesh,
                 self.params,
                 mode=mode,
+                vector_dim=self.vector_dim,
                 tracer=self.tracer,
                 fault_plan=self.fault_plan,
             )

@@ -75,12 +75,19 @@ def test_series_groups_by_entry_key(history):
         {"entries": [_entry(2.0), _entry(8.0, variant="RS")]},
     ]
     s = history.series(records)
-    assert s[("variants", "RSP", 64, "compiled", None, "serial")] == [1.0, 2.0]
-    assert s[("variants", "RS", 64, "compiled", None, "serial")] == [9.0, 8.0]
+    key = ("variants", "RSP", 64, "compiled", None, "serial", None)
+    assert s[key] == [1.0, 2.0]
+    assert s[("variants", "RS", 64, "compiled", None, "serial", None)] == [
+        9.0, 8.0,
+    ]
     # a different executor is a different series
     records[0]["entries"][0] = _entry(5.0, executor="threads")
     s = history.series(records)
-    assert ("variants", "RSP", 64, "compiled", None, "threads") in s
+    assert ("variants", "RSP", 64, "compiled", None, "threads", None) in s
+    # ... and so is a scenario batch size (S=1 never mixes with S=16)
+    records[0]["entries"].append(_entry(3.0, scenarios=16))
+    s = history.series(records)
+    assert s[("variants", "RSP", 64, "compiled", None, "serial", 16)] == [3.0]
 
 
 def test_key_label(history):
@@ -90,6 +97,9 @@ def test_key_label(history):
     assert history.key_label(
         ("tape", "RS", 64, "compiled", "sfc", "threads")
     ) == "tape/RS@vd64+sfc+threads"
+    assert history.key_label(
+        ("batch", "B", 1024, "compiled", None, "serial", 16)
+    ) == "batch/B@vd1024@S16"
 
 
 # -- EWMA drift -------------------------------------------------------------
