@@ -209,9 +209,14 @@ def main(argv=None) -> int:
     try:
         bench = read_bench_json(args.bench)
     except (OSError, ValueError) as exc:
-        emit(f"check_regression: no fresh bench results ({exc}); skipping")
+        emit(
+            f"check_regression: MISSING bench results at {args.bench} "
+            f"({exc}) -- run the bench step first (e.g. 'PYTHONPATH=src "
+            f"python -m pytest benchmarks -q' or the bench_*.py script "
+            f"that writes it)"
+        )
         flush_report()
-        return 0
+        return 1 if args.strict else 0
 
     # silent degradation needs no baseline: a fault-free run must not
     # have exercised any recovery path.
@@ -227,9 +232,25 @@ def main(argv=None) -> int:
     try:
         baseline = read_bench_json(args.baseline)
     except (OSError, ValueError) as exc:
-        emit(f"check_regression: no baseline ({exc}); skipping comparison")
+        emit(
+            f"check_regression: MISSING baseline at {args.baseline} "
+            f"({exc}) -- seed it from the fresh results with "
+            f"'cp {args.bench} {args.baseline}' and commit it"
+        )
         flush_report()
-        return 1 if (args.strict and degraded) else 0
+        return 1 if args.strict else 0
+
+    fresh_keys, base_keys = set(_by_key(bench)), set(_by_key(baseline))
+    if fresh_keys and base_keys and not (fresh_keys & base_keys):
+        emit(
+            f"check_regression: NO OVERLAP -- none of the "
+            f"{len(fresh_keys)} fresh entry keys match the "
+            f"{len(base_keys)} baseline keys (benchmark renamed or key "
+            f"schema changed?) -- regenerate the baseline with "
+            f"'cp {args.bench} {args.baseline}'"
+        )
+        flush_report()
+        return 1 if args.strict else 0
 
     regressions = compare(bench, baseline, args.threshold)
     if not regressions and not degraded:

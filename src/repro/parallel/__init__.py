@@ -16,6 +16,14 @@ from .runner import (
     WorkerPolicy,
     assemble_partitioned,
 )
+from .shutdown import (
+    SHM_PREFIX,
+    create_shared_memory,
+    install_shutdown_handler,
+    live_segment_names,
+    purge_shared_memory,
+    release_shared_memory,
+)
 from .threads import (
     SlabPool,
     default_chunk_groups,
@@ -31,6 +39,8 @@ __all__ = [
     "SubdomainPlan", "build_plans", "post_interface", "reduce_interface",
     "MultiprocessRunner", "ScalingPoint", "WorkerPolicy",
     "assemble_partitioned",
+    "SHM_PREFIX", "create_shared_memory", "install_shutdown_handler",
+    "live_segment_names", "purge_shared_memory", "release_shared_memory",
     "SlabPool", "default_chunk_groups", "get_thread_pool",
     "resolve_num_threads", "shutdown_thread_pools",
 ]

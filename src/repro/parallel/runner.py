@@ -44,9 +44,11 @@ from ..fem.plan import get_plan, segment_scatter
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import NULL_TRACER, Tracer
 from ..physics.momentum import AssemblyParams, element_rhs
+from ..resilience.cancel import CancelToken
 from .comm import SimComm
 from .halo import build_plans, post_interface, reduce_interface
 from .partition import rcb_partition
+from .shutdown import create_shared_memory, release_shared_memory
 
 __all__ = [
     "assemble_partitioned",
@@ -573,19 +575,24 @@ class MultiprocessRunner:
         chunk_args: List[Tuple],
         serial_chunks: List[Tuple[np.ndarray, np.ndarray]],
         registry: MetricsRegistry,
+        cancel: Optional[CancelToken] = None,
     ) -> List[Tuple[float, List[dict], Tuple[float, float, float]]]:
         """Run every chunk to completion, through failures.
 
         ``chunk_args`` holds the picklable worker argument tuples (one per
         rank, ``attempt`` slot last); ``serial_chunks`` the parent-side
         array views used by the in-process fallback.  Returns results in
-        rank order; never returns a partial set.
+        rank order; never returns a partial set.  A tripped ``cancel``
+        raises between supervision rounds (the caller's ``finally``
+        terminates the pool and releases shared memory).
         """
         nchunk = len(chunk_args)
         results: List = [None] * nchunk
         attempts = [0] * nchunk
         pending = list(range(nchunk))
         while pending:
+            if cancel is not None:
+                cancel.check()
             handles = {}
             for rank in pending:
                 if self.fault_plan is not None:
@@ -708,9 +715,9 @@ class MultiprocessRunner:
         ]
         coords = np.ascontiguousarray(self.mesh.coords, dtype=np.float64)
         conn = np.ascontiguousarray(self.mesh.connectivity, dtype=np.int64)
-        c_shm = shared_memory.SharedMemory(create=True, size=coords.nbytes)
-        k_shm = shared_memory.SharedMemory(create=True, size=conn.nbytes)
-        v_shm = shared_memory.SharedMemory(create=True, size=velocity.nbytes)
+        c_shm = create_shared_memory(coords.nbytes)
+        k_shm = create_shared_memory(conn.nbytes)
+        v_shm = create_shared_memory(velocity.nbytes)
         rhs = np.empty((S, nnode, 3))
         ok = False
         try:
@@ -774,14 +781,34 @@ class MultiprocessRunner:
             self._shutdown_pool(graceful=ok)
             self._pool_size = 0
             for shm in (c_shm, k_shm, v_shm):
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:
-                    pass
+                release_shared_memory(shm)
         return rhs
 
-    def measure(self, worker_counts: List[int]) -> List[ScalingPoint]:
+    def close(self) -> None:
+        """Terminate any live pool immediately (idempotent).
+
+        For standalone use outside ``measure``/``run_batch`` (whose
+        ``finally`` blocks already call this): drain paths and tests
+        call ``close()`` to guarantee no worker processes outlive the
+        runner.
+        """
+        self._shutdown_pool(graceful=False)
+        self._pool_size = 0
+
+    def measure(
+        self,
+        worker_counts: List[int],
+        cancel: Optional[CancelToken] = None,
+    ) -> List[ScalingPoint]:
+        """Measure the strong-scaling curve over ``worker_counts``.
+
+        A tripped ``cancel`` token raises
+        :class:`~repro.resilience.cancel.CooperativeCancel` between
+        measured worker counts (and between supervision rounds inside
+        one); the ``finally`` below still terminates the pool and
+        releases every shared-memory segment, so cancellation never
+        leaks ``/dev/shm`` blocks or worker processes.
+        """
         if not worker_counts:
             return []
         registry = get_registry() if self._metrics is None else self._metrics
@@ -816,8 +843,8 @@ class MultiprocessRunner:
                 self.variant, self.params.as_kernel_params()
             )
 
-        x_shm = shared_memory.SharedMemory(create=True, size=xall.nbytes)
-        u_shm = shared_memory.SharedMemory(create=True, size=uall.nbytes)
+        x_shm = create_shared_memory(xall.nbytes)
+        u_shm = create_shared_memory(uall.nbytes)
         raw: List[Tuple[int, float]] = []
         self.chunk_checksums = {}
         ok = False
@@ -831,6 +858,8 @@ class MultiprocessRunner:
             if max_workers > 1:
                 self._ensure_pool(max_workers)
             for w in worker_counts:
+                if cancel is not None:
+                    cancel.check()
                 bounds = np.linspace(0, nelem, w + 1).astype(np.int64)
                 args = [
                     (
@@ -874,7 +903,7 @@ class MultiprocessRunner:
                         ]
                     else:
                         results = self._run_supervised(
-                            args, serial_chunks, registry
+                            args, serial_chunks, registry, cancel=cancel
                         )
                     wall = time.perf_counter() - t0
                     if span is not None:
@@ -905,14 +934,7 @@ class MultiprocessRunner:
             self._shutdown_pool(graceful=ok)
             self._pool_size = 0
             for shm in (x_shm, u_shm):
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:
-                    # a crashed prior run (or the resource tracker racing
-                    # us) already removed the segment; never poison the
-                    # next measurement over it.
-                    pass
+                release_shared_memory(shm)
 
         if self._prom is not None:
             self._prom.flush()

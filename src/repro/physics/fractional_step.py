@@ -28,6 +28,7 @@ give bitwise-stable restarts.  Every rollback is counted in
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,9 +39,14 @@ from ..fem.mesh import TetMesh
 from ..fem.plan import get_plan
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import NULL_TRACER
+from ..resilience.cancel import CancelToken
 from ..resilience.checkpoint import (
+    CheckpointError,
+    CheckpointState,
     checkpoint_name,
+    list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from .momentum import AssemblyParams, assemble_momentum_rhs, kernel_rhs_assembler
@@ -236,6 +242,11 @@ class FractionalStepSolver:
         When both set, a restartable ``.npz`` checkpoint is written to
         ``checkpoint_dir`` every ``checkpoint_every`` completed steps
         (see :meth:`checkpoint` / :meth:`restart`).
+    keep_checkpoints:
+        Checkpoint generations retained in ``checkpoint_dir`` (default 2):
+        after each periodic checkpoint, older generations are pruned, so
+        a corrupted latest checkpoint always leaves a previous one for
+        :meth:`restart_latest` to fall back to.
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan`; its
         ``"momentum_rhs"`` site corrupts one RHS sweep so chaos tests can
@@ -256,6 +267,7 @@ class FractionalStepSolver:
         blowup_factor: float = 100.0,
         checkpoint_every: int = 0,
         checkpoint_dir: Optional[str] = None,
+        keep_checkpoints: int = 2,
         fault_plan=None,
     ) -> None:
         self.mesh = mesh
@@ -280,6 +292,7 @@ class FractionalStepSolver:
         self.blowup_factor = float(blowup_factor)
         self.checkpoint_every = int(checkpoint_every)
         self.checkpoint_dir = checkpoint_dir
+        self.keep_checkpoints = max(1, int(keep_checkpoints))
         self._plan = get_plan(mesh)
         self.mass = self._plan.lumped_mass()
         self.velocity = np.zeros((mesh.nnode, 3))
@@ -497,9 +510,11 @@ class FractionalStepSolver:
     def checkpoint(self, path: Optional[str] = None) -> str:
         """Write a restartable ``.npz`` checkpoint; returns the path.
 
-        Defaults to ``checkpoint_dir/checkpoint_<step>.npz``; pass an
-        explicit ``path`` for ad-hoc checkpoints.
+        Defaults to ``checkpoint_dir/checkpoint_<step>.npz`` (and prunes
+        the directory down to ``keep_checkpoints`` generations); pass an
+        explicit ``path`` for ad-hoc checkpoints (no pruning).
         """
+        auto = path is None
         if path is None:
             if self.checkpoint_dir is None:
                 raise ValueError(
@@ -518,6 +533,8 @@ class FractionalStepSolver:
                 nelem=self.mesh.nelem,
             )
         registry.counter("resilience.checkpoints").inc()
+        if auto:
+            prune_checkpoints(self.checkpoint_dir, keep=self.keep_checkpoints)
         return path
 
     def restart(self, path: str) -> "FractionalStepSolver":
@@ -531,6 +548,9 @@ class FractionalStepSolver:
             solver = FractionalStepSolver(mesh, params).restart(path)
         """
         state = load_checkpoint(path)
+        return self._restore(state)
+
+    def _restore(self, state: CheckpointState) -> "FractionalStepSolver":
         state.validate_against(self.mesh.nnode, self.mesh.nelem)
         self.velocity = state.velocity
         self.pressure_field = state.pressure
@@ -540,6 +560,44 @@ class FractionalStepSolver:
         self._apply_bcs(self.velocity)
         return self
 
+    def restart_latest(
+        self, directory: Optional[str] = None
+    ) -> "FractionalStepSolver":
+        """Restore from the newest loadable checkpoint in ``directory``.
+
+        A truncated or corrupt newest generation is skipped (counted in
+        ``resilience.checkpoint_fallbacks`` with a ``CheckpointFallback``
+        span) and the previous generation is tried -- the reason
+        :meth:`checkpoint` keeps ``keep_checkpoints >= 2`` generations.
+        Raises :class:`~repro.resilience.checkpoint.CheckpointError` when
+        no checkpoint in the directory loads.
+        """
+        directory = directory if directory is not None else self.checkpoint_dir
+        if directory is None:
+            raise ValueError("no checkpoint_dir configured; pass a directory")
+        registry = get_registry() if self._metrics is None else self._metrics
+        candidates = list_checkpoints(directory)
+        if not candidates:
+            raise CheckpointError(f"no checkpoints in {directory!r}")
+        last_error: Optional[CheckpointError] = None
+        for path in reversed(candidates):
+            try:
+                state = load_checkpoint(path)
+                state.validate_against(self.mesh.nnode, self.mesh.nelem)
+            except CheckpointError as exc:
+                last_error = exc
+                registry.counter("resilience.checkpoint_fallbacks").inc()
+                with self.tracer.span(
+                    "CheckpointFallback", path=path, reason=str(exc)
+                ):
+                    pass
+                continue
+            return self._restore(state)
+        raise CheckpointError(
+            f"no loadable checkpoint in {directory!r} "
+            f"({len(candidates)} candidates; last error: {last_error})"
+        )
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -547,10 +605,19 @@ class FractionalStepSolver:
         cfl: float = 0.5,
         dt: Optional[float] = None,
         callback: Optional[Callable[[StepReport], None]] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> List[StepReport]:
-        """Advance ``steps`` steps with CFL-adaptive (or fixed) dt."""
+        """Advance ``steps`` steps with CFL-adaptive (or fixed) dt.
+
+        ``cancel`` is checked *between* steps -- a tripped token raises
+        :class:`~repro.resilience.cancel.CooperativeCancel` with solver
+        state at the last committed step, so the caller can checkpoint
+        or report partial results safely.
+        """
         out = []
         for _ in range(steps):
+            if cancel is not None:
+                cancel.check()
             step_dt = dt if dt is not None else cfl_time_step(
                 self.mesh, self.velocity, cfl
             )
@@ -856,11 +923,19 @@ class BatchCampaign:
         cfl: float = 0.5,
         dt: Optional[float] = None,
         callback: Optional[Callable[[List[StepReport]], None]] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> List[List[StepReport]]:
         """Advance ``steps`` lockstep steps with a common (CFL-min or
-        fixed) dt; returns the per-step lists of scenario reports."""
+        fixed) dt; returns the per-step lists of scenario reports.
+
+        ``cancel`` is checked between lockstep steps; a tripped token
+        raises with every scenario at its last committed step, so
+        :meth:`checkpoint` still writes a consistent campaign snapshot.
+        """
         out = []
         for _ in range(steps):
+            if cancel is not None:
+                cancel.check()
             step_dt = dt if dt is not None else min(
                 cfl_time_step(self.mesh, solver.velocity, cfl)
                 for solver in self.solvers
@@ -870,6 +945,20 @@ class BatchCampaign:
                 callback(reps)
             out.append(reps)
         return out
+
+    def checkpoint(self, directory: str) -> List[str]:
+        """Checkpoint every scenario into ``directory``; returns paths.
+
+        Written as ``scenario_<s>/checkpoint_<step>.npz`` so a drained
+        campaign can be resumed per scenario via
+        :meth:`FractionalStepSolver.restart_latest`.
+        """
+        paths = []
+        for s, solver in enumerate(self.solvers):
+            sub = os.path.join(directory, f"scenario_{s}")
+            path = checkpoint_name(sub, solver.step_count)
+            paths.append(solver.checkpoint(path))
+        return paths
 
     def timing_breakdown(self) -> Dict[str, float]:
         """Campaign-wide cumulative assembly vs pressure seconds."""

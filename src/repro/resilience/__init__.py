@@ -22,12 +22,15 @@ Every recovery action is observable through the ``resilience.*`` counters
 (:data:`RESILIENCE_COUNTERS`) and marker spans.
 """
 
+from .cancel import CancelToken, CooperativeCancel
 from .checkpoint import (
     CheckpointError,
     CheckpointState,
     checkpoint_name,
     latest_checkpoint,
+    list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from .faults import (
@@ -42,8 +45,10 @@ from .ladders import AssemblyDegraded, ResilientAssembler, record_escalation
 
 __all__ = [
     "AssemblyDegraded",
+    "CancelToken",
     "CheckpointError",
     "CheckpointState",
+    "CooperativeCancel",
     "FaultPlan",
     "FaultSpec",
     "RECOVERY_COUNTERS",
@@ -53,7 +58,9 @@ __all__ = [
     "checkpoint_name",
     "fault_seed_from_env",
     "latest_checkpoint",
+    "list_checkpoints",
     "load_checkpoint",
+    "prune_checkpoints",
     "record_escalation",
     "save_checkpoint",
 ]

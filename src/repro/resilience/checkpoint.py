@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,6 +26,8 @@ __all__ = [
     "load_checkpoint",
     "checkpoint_name",
     "latest_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
 ]
 
 _FORMAT = "repro-checkpoint/1"
@@ -134,13 +136,42 @@ def checkpoint_name(directory: str, step: int) -> str:
     return os.path.join(directory, f"checkpoint_{step:06d}.npz")
 
 
-def latest_checkpoint(directory: str) -> Optional[str]:
-    """Most recent (highest-step) checkpoint in ``directory``, if any."""
+def list_checkpoints(directory: str) -> List[str]:
+    """All checkpoint paths in ``directory``, oldest (lowest step) first."""
     if not os.path.isdir(directory):
-        return None
+        return []
     names = sorted(
         n
         for n in os.listdir(directory)
         if n.startswith("checkpoint_") and n.endswith(".npz")
     )
-    return os.path.join(directory, names[-1]) if names else None
+    return [os.path.join(directory, n) for n in names]
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Most recent (highest-step) checkpoint in ``directory``, if any."""
+    names = list_checkpoints(directory)
+    return names[-1] if names else None
+
+
+def prune_checkpoints(directory: str, keep: int = 2) -> List[str]:
+    """Delete all but the newest ``keep`` checkpoints; returns removed paths.
+
+    Keeping at least two generations means a checkpoint that turns out to
+    be unreadable (truncated by a crash mid-``os.replace`` on an exotic
+    filesystem, a cosmic-ray bit flip, an operator ``truncate``) still
+    leaves a previous generation for
+    :meth:`~repro.physics.fractional_step.FractionalStepSolver.restart_latest`
+    to fall back to.
+    """
+    if keep < 1:
+        raise ValueError(f"prune_checkpoints: keep must be >= 1, got {keep}")
+    doomed = list_checkpoints(directory)[:-keep]
+    removed = []
+    for path in doomed:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            continue
+        removed.append(path)
+    return removed

@@ -63,10 +63,14 @@ RESILIENCE_COUNTERS = (
     "resilience.fallbacks",
     "resilience.rollbacks",
     "resilience.checkpoints",
+    "resilience.checkpoint_fallbacks",
     "resilience.solver_escalations",
     "resilience.assembler_degradations",
     "resilience.batch_isolations",
     "resilience.validations",
+    "resilience.breaker_trips",
+    "resilience.breaker_reroutes",
+    "resilience.breaker_resets",
 )
 
 #: Counters that indicate a recovery action was taken (subset of
@@ -80,6 +84,8 @@ RECOVERY_COUNTERS = (
     "resilience.rollbacks",
     "resilience.solver_escalations",
     "resilience.assembler_degradations",
+    "resilience.checkpoint_fallbacks",
+    "resilience.breaker_trips",
 )
 
 
@@ -104,13 +110,22 @@ class FaultSpec:
         :class:`~repro.physics.fractional_step.FractionalStepSolver`),
         ``"cg"`` (pressure solve, :class:`~repro.physics.pressure.PressureSolver`),
         ``"assembler"`` (compiled/interpreted DSL assembly,
-        :class:`~repro.core.unified.UnifiedAssembler`).
+        :class:`~repro.core.unified.UnifiedAssembler`), plus the campaign
+        server's service-boundary sites (:mod:`repro.server`):
+        ``"server_queue"`` (queue stall before dispatch),
+        ``"server_request"`` (request bytes corrupted in flight),
+        ``"server_cache"`` (cached result poisoned),
+        ``"server_client"`` (slow client, delayed response write) and
+        ``"server_exec"`` (executor crash / slowdown while running a job).
     kind:
         ``"crash"`` -- raise :class:`WorkerCrash`; ``"exit"`` -- hard
         ``os._exit`` (dead worker, only detectable by deadline); ``"hang"``
         -- sleep past any deadline; ``"slow"`` -- sleep ``delay`` seconds
         then continue; ``"nan"``/``"inf"`` -- corrupt one array lane;
-        ``"breakdown"`` -- sabotage a CG matvec into non-SPD territory.
+        ``"breakdown"`` -- sabotage a CG matvec into non-SPD territory;
+        ``"corrupt"`` -- garble a request byte stream
+        (:meth:`FaultPlan.corrupt_bytes`); ``"poison"`` -- corrupt a
+        cached artifact so checksum validation must catch it.
     rank:
         Worker-rank filter (``None`` matches any rank).
     index:
@@ -135,6 +150,8 @@ class FaultSpec:
         "nan",
         "inf",
         "breakdown",
+        "corrupt",
+        "poison",
     )
 
     def __post_init__(self) -> None:
@@ -234,6 +251,32 @@ class FaultPlan:
         array.reshape(-1)[flat] = spec.payload()
         self._record(spec, index, rank, flat_index=flat)
         return True
+
+    def corrupt_bytes(
+        self, site: str, payload: bytes, rank: Optional[int] = None
+    ) -> Tuple[bytes, bool]:
+        """Maybe garble a byte payload (``"corrupt"``/``"poison"`` kinds).
+
+        Returns ``(payload, fired)``.  The corrupted offset and the XOR
+        mask derive deterministically from ``(seed, site, occurrence)``,
+        so a chaos run garbles the same byte of the same request every
+        time.  Empty payloads pass through untouched.
+        """
+        index = self.occurrence(site)
+        spec = self._match(site, index, rank)
+        if spec is None or spec.kind not in ("corrupt", "poison"):
+            return payload, False
+        if not payload:
+            return payload, False
+        rng = np.random.default_rng(
+            (self.seed * 1000003 + index) ^ zlib.crc32(site.encode())
+        )
+        offset = int(rng.integers(0, len(payload)))
+        mask = int(rng.integers(1, 256))
+        garbled = bytearray(payload)
+        garbled[offset] ^= mask
+        self._record(spec, index, rank, offset=offset, mask=mask)
+        return bytes(garbled), True
 
     # -- worker-side execution -------------------------------------------
     def worker_fault(self, rank: int, attempt: int) -> Optional[FaultSpec]:

@@ -1,0 +1,44 @@
+"""Campaign server: assembly-as-a-service with production availability.
+
+The library layers (:mod:`repro.core`, :mod:`repro.physics`,
+:mod:`repro.parallel`) answer "how fast can one assembly go"; this
+package answers the operational question a shared Alya-style campaign
+machine faces: how does assembly capacity stay *available* -- bounded
+queues instead of latency collapse, typed rejections instead of hung
+clients, circuit breakers instead of repeated failures, caches instead
+of recomputation, and drains instead of kill -9.
+
+Start one with ``python -m repro.server`` and talk to it with
+:class:`CampaignClient` (see ``examples/campaign_client.py``), or embed
+it with :meth:`CampaignServer.start_in_thread`.
+"""
+
+from .admission import AdmissionController
+from .breaker import MODE_LADDER, CircuitBreaker
+from .cache import MeshCache, ResultCache
+from .client import CampaignClient
+from .protocol import (
+    ERROR_CODES,
+    CampaignRequest,
+    MeshSpec,
+    ProtocolError,
+    ScenarioSpec,
+)
+from .service import CampaignServer, ServerConfig, ServerHandle
+
+__all__ = [
+    "ERROR_CODES",
+    "MODE_LADDER",
+    "AdmissionController",
+    "CampaignClient",
+    "CampaignRequest",
+    "CampaignServer",
+    "CircuitBreaker",
+    "MeshCache",
+    "MeshSpec",
+    "ProtocolError",
+    "ResultCache",
+    "ScenarioSpec",
+    "ServerConfig",
+    "ServerHandle",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro.server`` -- run a campaign server until drained.
+
+SIGTERM and Ctrl-C both trigger the graceful drain: stop admitting,
+finish or checkpoint in-flight campaigns, then exit 0.  The chaos knobs
+(``--fault`` + ``REPRO_FAULT_SEED``) exist so the CI server job can run
+the same binary it ships.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+from ..resilience.faults import FaultPlan, FaultSpec, fault_seed_from_env
+from .service import CampaignServer, ServerConfig
+
+
+def _parse_fault(text: str) -> FaultSpec:
+    """``site:kind[:index[:delay]]`` -> :class:`FaultSpec`."""
+    parts = text.split(":")
+    if len(parts) < 2:
+        raise argparse.ArgumentTypeError(
+            f"fault spec {text!r} must be site:kind[:index[:delay]]"
+        )
+    site, kind = parts[0], parts[1]
+    index = int(parts[2]) if len(parts) > 2 else 0
+    delay = float(parts[3]) if len(parts) > 3 else 0.0
+    return FaultSpec(site=site, kind=kind, index=index, delay=delay)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Run the assembly campaign server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="0 picks an ephemeral port (printed on start)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--per-tenant", type=int, default=4)
+    parser.add_argument("--deadline-s", type=float, default=120.0,
+                        help="default per-request deadline")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="where drained campaigns checkpoint")
+    parser.add_argument("--fault", action="append", type=_parse_fault,
+                        default=[], metavar="SITE:KIND[:INDEX[:DELAY]]",
+                        help="inject a deterministic fault (repeatable); "
+                             "seeded by REPRO_FAULT_SEED")
+    args = parser.parse_args(argv)
+
+    fault_plan = None
+    if args.fault:
+        fault_plan = FaultPlan(args.fault, seed=fault_seed_from_env())
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        max_per_tenant=args.per_tenant,
+        default_deadline_s=args.deadline_s,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    server = CampaignServer(config, fault_plan=fault_plan)
+
+    async def _main() -> None:
+        await server.start()
+        # SIGTERM and Ctrl-C both schedule the graceful drain on the
+        # loop itself -- no KeyboardInterrupt mid-await, so in-flight
+        # campaigns checkpoint and worker tasks join before exit.
+        loop = asyncio.get_running_loop()
+
+        def _drain() -> None:
+            asyncio.ensure_future(server.shutdown())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, _drain)
+        print(json.dumps({
+            "listening": f"{config.host}:{server.port}",
+            "workers": config.workers,
+            "queue_depth": config.max_queue_depth,
+        }), flush=True)
+        await server.serve_until_drained()
+        print(json.dumps({"drained": True}), flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,367 @@
+"""Campaign-server integration tests: service boundary vs direct library.
+
+The core guarantee under test: a healthy request served over the socket
+is **bitwise identical** to calling the library directly, and every
+availability feature (admission, quotas, deadlines, breakers, caches,
+coalescing, drain) is observable through typed codes and ``server.*``
+metrics.
+"""
+
+import hashlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.server import (
+    AdmissionController,
+    CampaignClient,
+    CampaignServer,
+    CircuitBreaker,
+    ProtocolError,
+    ServerConfig,
+)
+from repro.server.breaker import MODE_LADDER
+
+
+def _count(name):
+    snap = get_registry().snapshot().get(name)
+    return 0 if snap is None else snap["value"]
+
+
+MESH = {"nx": 2, "ny": 2, "nz": 2}
+
+
+def _serve(config=None, fault_plan=None):
+    server = CampaignServer(config or ServerConfig(workers=1),
+                            fault_plan=fault_plan)
+    handle = server.start_in_thread()
+    return server, handle, CampaignClient(port=handle.port, timeout=60)
+
+
+# ---------------------------------------------------------------------------
+# unit: admission
+# ---------------------------------------------------------------------------
+
+def test_admission_quota_and_shed_codes():
+    adm = AdmissionController(max_queue_depth=2, max_per_tenant=1)
+    adm.admit("a")
+    with pytest.raises(ProtocolError) as err:
+        adm.admit("a")
+    assert err.value.code == "quota_exceeded"
+    assert err.value.retry_after is not None
+    adm.admit("b")  # different tenant still fits
+    with pytest.raises(ProtocolError) as err:
+        adm.admit("c")
+    assert err.value.code == "shed"
+    adm.release("a")
+    adm.admit("c")  # freed slot readmits
+    adm.start_draining()
+    with pytest.raises(ProtocolError) as err:
+        adm.admit("d")
+    assert err.value.code == "draining"
+
+
+def test_admission_retry_after_tracks_load():
+    adm = AdmissionController(max_queue_depth=8, max_per_tenant=8, workers=1)
+    empty = adm.retry_after()
+    for t in "abc":
+        adm.admit(t)
+    assert adm.retry_after() > empty
+    adm.record_service_time(2.0)
+    assert adm.retry_after() > 1.0
+
+
+# ---------------------------------------------------------------------------
+# unit: circuit breaker
+# ---------------------------------------------------------------------------
+
+def test_breaker_trip_reroute_and_reset():
+    clock = [0.0]
+    br = CircuitBreaker(failure_threshold=2, reset_timeout_s=10.0,
+                        clock=lambda: clock[0])
+    key = ("RSP", "codegen")
+    trips = _count("resilience.breaker_trips")
+    br.record_failure(key)
+    assert br.allow(key)  # one failure below threshold
+    br.record_failure(key)
+    assert _count("resilience.breaker_trips") == trips + 1
+    assert not br.allow(key)
+    # routing skips the open rung but keeps the rest of the ladder
+    assert br.route("RSP", "codegen") == list(MODE_LADDER[1:])
+    # reset timeout -> half-open probe allowed; success closes
+    clock[0] = 11.0
+    assert br.state(key) == CircuitBreaker.HALF_OPEN
+    assert br.allow(key)
+    resets = _count("resilience.breaker_resets")
+    br.record_success(key)
+    assert br.state(key) == CircuitBreaker.CLOSED
+    assert _count("resilience.breaker_resets") == resets + 1
+
+
+def test_breaker_failed_probe_reopens():
+    clock = [0.0]
+    br = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                        clock=lambda: clock[0])
+    br.record_failure("k")
+    clock[0] = 6.0
+    assert br.state("k") == CircuitBreaker.HALF_OPEN
+    br.record_failure("k")  # probe fails
+    assert br.state("k") == CircuitBreaker.OPEN
+    clock[0] = 10.9  # fresh timeout from the probe failure
+    assert br.state("k") == CircuitBreaker.OPEN
+
+
+# ---------------------------------------------------------------------------
+# integration: happy path, bitwise fidelity, caching
+# ---------------------------------------------------------------------------
+
+def test_served_assembly_bitwise_matches_direct_library_call():
+    from repro.core.unified import UnifiedAssembler
+    from repro.fem.meshgen import box_tet_mesh
+    from repro.physics.momentum import AssemblyParams
+
+    server, handle, client = _serve()
+    try:
+        resp = client.run({
+            "kind": "assemble", "mesh": MESH, "variant": "RSP",
+            "mode": "compiled", "velocity_seed": 3, "return_field": True,
+        })
+        result = resp["result"]
+        mesh = box_tet_mesh(2, 2, 2)
+        velocity = 0.1 * np.random.default_rng(3).standard_normal(
+            (mesh.nnode, 3)
+        )
+        direct = UnifiedAssembler(
+            mesh, AssemblyParams(), mode="compiled"
+        ).assemble("RSP", velocity)
+        direct = np.ascontiguousarray(direct)
+        assert result["sha256"] == hashlib.sha256(direct.tobytes()).hexdigest()
+        # return_field floats survive the JSON wire bitwise
+        assert np.array_equal(np.array(result["field"]), direct)
+    finally:
+        handle.stop()
+
+
+def test_second_identical_campaign_is_cached_with_zero_replans():
+    server, handle, client = _serve()
+    try:
+        req = {
+            "kind": "campaign", "mesh": MESH, "steps": 2, "dt": 5e-3,
+            "scenarios": [{"body_force": [0.0, 0.0, 0.01]},
+                          {"body_force": [0.0, 0.0, 0.02]}],
+            "mode": "compiled",
+        }
+        first = client.run(req, timeout=120)
+        builds = _count("plan.builds")
+        hits = _count("server.cache.result_hits")
+        second = client.run(req, timeout=120)
+        assert second["result"] == first["result"]
+        assert _count("plan.builds") == builds, "cached replay must not re-plan"
+        assert _count("server.cache.result_hits") == hits + 1
+    finally:
+        handle.stop()
+
+
+def test_warm_mesh_different_physics_reuses_plan():
+    """Different velocity_seed misses the result cache but the mesh --
+    and its plan/tape/codegen caches -- stay warm: zero plan.builds."""
+    server, handle, client = _serve()
+    try:
+        base = {"kind": "assemble", "mesh": MESH, "mode": "compiled"}
+        client.run({**base, "velocity_seed": 0})
+        builds = _count("plan.builds")
+        misses = _count("server.cache.result_misses")
+        client.run({**base, "velocity_seed": 1})
+        assert _count("plan.builds") == builds
+        assert _count("server.cache.result_misses") > misses
+        assert len(server.mesh_cache) == 1
+    finally:
+        handle.stop()
+
+
+def test_identical_inflight_submissions_coalesce():
+    server, handle, client = _serve()
+    try:
+        req = {"kind": "campaign", "mesh": MESH, "steps": 60, "dt": 5e-3,
+               "mode": "compiled"}
+        first = client.submit(req)
+        # submit the identical request while the first is queued/running
+        second = client.submit(req)
+        assert second.get("coalesced") is True
+        assert second["job_id"] == first["job_id"]
+        done = client.wait(first["job_id"], timeout=120)
+        assert done["state"] == "done"
+    finally:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# integration: typed rejections over the wire
+# ---------------------------------------------------------------------------
+
+def test_unknown_endpoint_and_job_are_typed_not_found():
+    server, handle, client = _serve()
+    try:
+        for path in ("/nope", "/jobs/job-999999"):
+            with pytest.raises(ProtocolError) as err:
+                client._request("GET", path)
+            assert err.value.code == "not_found"
+    finally:
+        handle.stop()
+
+
+def test_malformed_submit_counted_and_typed():
+    server, handle, client = _serve()
+    try:
+        before = _count("server.rejections.malformed")
+        with pytest.raises(ProtocolError) as err:
+            client.submit({"kind": "explode", "mesh": MESH})
+        assert err.value.code == "malformed"
+        assert _count("server.rejections.malformed") == before + 1
+    finally:
+        handle.stop()
+
+
+def test_full_queue_sheds_with_retry_after():
+    from repro.resilience.faults import FaultPlan, FaultSpec
+
+    # hold the single slot with an injected slow executor fault
+    plan = FaultPlan([FaultSpec(site="server_exec", kind="slow",
+                                index=0, delay=10.0)], seed=1)
+    config = ServerConfig(workers=1, max_queue_depth=1, max_stall_s=1.0)
+    server, handle, client = _serve(config, fault_plan=plan)
+    try:
+        slow = client.submit({"kind": "assemble", "mesh": MESH,
+                              "velocity_seed": 10})
+        before = _count("server.rejections.shed")
+        with pytest.raises(ProtocolError) as err:
+            client.submit({"kind": "assemble", "mesh": MESH,
+                           "velocity_seed": 11})
+        assert err.value.code == "shed"
+        assert err.value.retry_after is not None and err.value.retry_after >= 0
+        assert _count("server.rejections.shed") == before + 1
+        done = client.wait(slow["job_id"], timeout=60)
+        assert done["state"] == "done"  # the held job still completes
+    finally:
+        handle.stop()
+
+
+def test_deadline_exceeded_is_typed_and_cancels_cleanly():
+    server, handle, client = _serve()
+    try:
+        sub = client.submit({
+            "kind": "campaign", "mesh": MESH, "steps": 1000, "dt": 5e-3,
+            "mode": "compiled", "deadline_ms": 400.0, "velocity_seed": 42,
+        })
+        with pytest.raises(ProtocolError) as err:
+            client.wait(sub["job_id"], timeout=120)
+        assert err.value.code == "deadline_exceeded"
+        status = client.status(sub["job_id"])
+        assert status["state"] == "cancelled"
+    finally:
+        handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# integration: drain
+# ---------------------------------------------------------------------------
+
+def test_drain_checkpoints_inflight_campaign_and_rejects_new(tmp_path):
+    import os
+
+    config = ServerConfig(workers=1, checkpoint_dir=str(tmp_path))
+    server, handle, client = _serve(config)
+    try:
+        sub = client.submit({
+            "kind": "campaign", "mesh": MESH, "steps": 900, "dt": 5e-3,
+            "mode": "compiled", "velocity_seed": 7,
+        })
+        # wait until it is actually running so the drain catches it mid-flight
+        deadline = time.monotonic() + 30
+        while client.status(sub["job_id"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        summary = client.drain()
+        assert sub["job_id"] in summary["cancelled_running"]
+        status = client.status(sub["job_id"])
+        assert status["state"] == "checkpointed"
+        assert status["checkpoints"], "drained campaign must checkpoint"
+        for path in status["checkpoints"]:
+            assert os.path.exists(path)
+        # draining server refuses new work with a typed code
+        with pytest.raises(ProtocolError) as err:
+            client.submit({"kind": "assemble", "mesh": MESH,
+                           "velocity_seed": 123})
+        assert err.value.code == "draining"
+    finally:
+        handle.stop()
+
+
+def test_drained_checkpoint_is_restartable(tmp_path):
+    from repro.fem.meshgen import box_tet_mesh
+    from repro.physics.fractional_step import FractionalStepSolver
+    from repro.physics.momentum import AssemblyParams
+
+    config = ServerConfig(workers=1, checkpoint_dir=str(tmp_path))
+    server, handle, client = _serve(config)
+    try:
+        sub = client.submit({
+            "kind": "campaign", "mesh": MESH, "steps": 900, "dt": 5e-3,
+            "mode": "compiled", "velocity_seed": 8,
+        })
+        deadline = time.monotonic() + 30
+        while client.status(sub["job_id"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        client.drain()
+        status = client.status(sub["job_id"])
+        assert status["state"] == "checkpointed"
+        solver = FractionalStepSolver(box_tet_mesh(2, 2, 2), AssemblyParams())
+        import os
+
+        solver.restart_latest(os.path.dirname(status["checkpoints"][0]))
+        assert solver.step_count >= 1
+        assert np.isfinite(solver.velocity).all()
+    finally:
+        handle.stop()
+
+
+def test_stop_leaves_no_server_threads_or_tasks():
+    server, handle, client = _serve()
+    try:
+        client.run({"kind": "assemble", "mesh": MESH, "velocity_seed": 55})
+    finally:
+        handle.stop()
+    assert not handle.thread.is_alive()
+    assert server._worker_tasks == []
+    assert server._executor is None
+    leftovers = [
+        t.name for t in threading.enumerate()
+        if t.name.startswith(("campaign-server", "campaign-exec"))
+        and t.is_alive()
+    ]
+    assert leftovers == []
+    # double-stop is a no-op
+    handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# integration: health/stats
+# ---------------------------------------------------------------------------
+
+def test_health_and_stats_endpoints():
+    server, handle, client = _serve()
+    try:
+        health = client.health()
+        assert health["status"] == "ok"
+        client.run({"kind": "assemble", "mesh": MESH, "velocity_seed": 77})
+        stats = client.stats()
+        assert stats["jobs"].get("done", 0) >= 1
+        assert "server.jobs_completed" in stats["metrics"]
+        assert stats["mesh_cache_entries"] >= 1
+    finally:
+        handle.stop()
+    assert client.drain  # handle closed; client object still valid
